@@ -1,0 +1,123 @@
+//! Micro-benchmarks of the pipeline's building blocks.
+//!
+//! The paper argues (§V-B4) that "the weighting schemes are low in
+//! computation complexity [so] the dominating constraint lies in the
+//! number of packets required". These benches quantify that: every
+//! per-decision stage must be far below the 0.5 s packet budget.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mpdf_bench::{bench_fixture, bench_link};
+use mpdf_core::multipath_factor::multipath_factors;
+use mpdf_core::scheme::{
+    Baseline, DetectionScheme, SubcarrierAndPathWeighting, SubcarrierWeighting,
+};
+use mpdf_core::subcarrier_weight::SubcarrierWeights;
+use mpdf_music::covariance::sample_covariance;
+use mpdf_music::music::{pseudospectrum, AngleGrid, UlaSteering};
+use mpdf_propagation::human::HumanBody;
+use mpdf_propagation::tracer::{trace, TraceConfig};
+use mpdf_rfmath::complex::Complex64;
+use mpdf_rfmath::dft::{dft, nudft_at_delay};
+use mpdf_rfmath::eig::hermitian_eig;
+use mpdf_rfmath::matrix::CMatrix;
+use mpdf_wifi::band::Band;
+use mpdf_wifi::sanitize::sanitize_packet;
+
+fn bench_numerics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("numerics");
+    let x: Vec<Complex64> = (0..30)
+        .map(|i| Complex64::cis(i as f64 * 0.7) * (1.0 + 0.01 * i as f64))
+        .collect();
+    let band = Band::wifi_2_4ghz_channel11();
+    let freqs = band.frequencies();
+    g.bench_function("dft_30", |b| b.iter(|| black_box(dft(black_box(&x)))));
+    g.bench_function("nudft_delay0_30", |b| {
+        b.iter(|| black_box(nudft_at_delay(black_box(&x), black_box(&freqs), 0.0)))
+    });
+    let v = [
+        Complex64::new(1.0, 0.5),
+        Complex64::new(0.0, -1.0),
+        Complex64::new(0.7, 0.2),
+    ];
+    let a = &CMatrix::outer(&v, &v) + &CMatrix::identity(3).scale(0.1);
+    g.bench_function("hermitian_eig_3x3", |b| {
+        b.iter(|| black_box(hermitian_eig(black_box(&a), 1e-12).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_physics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("physics");
+    let link = bench_link();
+    let env = link.environment().clone();
+    let tx = link.tx();
+    let rx = link.rx();
+    g.bench_function("trace_order3_shell_room", |b| {
+        b.iter(|| black_box(trace(&env, tx, rx, &TraceConfig::default()).unwrap()))
+    });
+    let body = HumanBody::new(mpdf_geom::vec2::Point::new(4.0, 3.5));
+    g.bench_function("snapshot_with_human", |b| {
+        b.iter(|| black_box(link.snapshot(Some(&body)).unwrap()))
+    });
+    let snap = link.snapshot(Some(&body)).unwrap();
+    let freqs = Band::wifi_2_4ghz_channel11().frequencies();
+    g.bench_function("cfr_30_subcarriers", |b| {
+        b.iter(|| black_box(snap.cfr(black_box(&freqs))))
+    });
+    g.finish();
+}
+
+fn bench_detection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("detection");
+    let (profile, window, config) = bench_fixture();
+    let freqs = config.band.frequencies();
+    let mut pkt = window[0].clone();
+    g.bench_function("sanitize_packet", |b| {
+        b.iter(|| {
+            let mut q = pkt.clone();
+            black_box(sanitize_packet(&mut q, config.band.indices()));
+        })
+    });
+    sanitize_packet(&mut pkt, config.band.indices());
+    g.bench_function("multipath_factors_packet", |b| {
+        b.iter(|| black_box(multipath_factors(black_box(&pkt), &freqs)))
+    });
+    g.bench_function("subcarrier_weights_25pkt", |b| {
+        b.iter(|| black_box(SubcarrierWeights::from_packets(black_box(&window), &freqs)))
+    });
+    let snaps: Vec<Vec<Complex64>> = (0..30).map(|k| pkt.subcarrier_column(k)).collect();
+    let r = sample_covariance(&snaps).unwrap();
+    let steering = UlaSteering::three_half_wavelength();
+    let grid = AngleGrid::full_front(1.0);
+    g.bench_function("music_pseudospectrum_181pt", |b| {
+        b.iter(|| black_box(pseudospectrum(&r, &steering, 2, &grid).unwrap()))
+    });
+    // The three per-window decisions — the §V-B4 latency story.
+    g.bench_function("score_baseline_25pkt", |b| {
+        b.iter(|| black_box(Baseline.score(&profile, &window, &config).unwrap()))
+    });
+    g.bench_function("score_subcarrier_25pkt", |b| {
+        b.iter(|| {
+            black_box(
+                SubcarrierWeighting
+                    .score(&profile, &window, &config)
+                    .unwrap(),
+            )
+        })
+    });
+    g.bench_function("score_combined_25pkt", |b| {
+        b.iter(|| {
+            black_box(
+                SubcarrierAndPathWeighting
+                    .score(&profile, &window, &config)
+                    .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_numerics, bench_physics, bench_detection);
+criterion_main!(benches);

@@ -1,0 +1,228 @@
+//! The end-to-end detector: calibrate → monitor → decide (§IV-C).
+
+use serde::{Deserialize, Serialize};
+
+use mpdf_wifi::csi::CsiPacket;
+
+use crate::error::DetectError;
+use crate::profile::{CalibrationProfile, DetectorConfig};
+use crate::scheme::DetectionScheme;
+use crate::threshold::{static_score_distribution, threshold_for_fp};
+
+/// One monitoring decision.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Decision {
+    /// The window's anomaly score.
+    pub score: f64,
+    /// The threshold in effect.
+    pub threshold: f64,
+    /// `score > threshold`.
+    pub detected: bool,
+}
+
+/// A calibrated device-free human detector.
+#[derive(Debug, Clone)]
+pub struct Detector<S> {
+    profile: CalibrationProfile,
+    scheme: S,
+    config: DetectorConfig,
+    threshold: f64,
+}
+
+impl<S: DetectionScheme> Detector<S> {
+    /// Calibrates a detector from no-human packets.
+    ///
+    /// The first half of `calibration_packets` builds the profile; the
+    /// second half is held out to estimate the null-score distribution
+    /// from which the threshold at `target_fp` is drawn.
+    ///
+    /// # Errors
+    /// [`DetectError::InsufficientCalibration`] when the held-out half is
+    /// shorter than one window, plus profile/scheme errors.
+    ///
+    /// # Panics
+    /// Panics if `target_fp` is outside `(0, 1)`.
+    pub fn calibrate(
+        calibration_packets: &[CsiPacket],
+        scheme: S,
+        config: DetectorConfig,
+        target_fp: f64,
+    ) -> Result<Self, DetectError> {
+        let half = calibration_packets.len() / 2;
+        if half == 0 || calibration_packets.len() - half < config.window {
+            return Err(DetectError::InsufficientCalibration {
+                got: calibration_packets.len(),
+                need: 2 * config.window,
+            });
+        }
+        let (train, holdout) = calibration_packets.split_at(half);
+        let profile = CalibrationProfile::build(train, &config)?;
+        let null_scores = static_score_distribution(&profile, holdout, &scheme, &config)?;
+        let threshold = threshold_for_fp(&null_scores, target_fp);
+        Ok(Detector {
+            profile,
+            scheme,
+            config,
+            threshold,
+        })
+    }
+
+    /// Builds a detector from a pre-computed profile and explicit
+    /// threshold (used by the ROC experiments, which sweep thresholds).
+    pub fn from_parts(
+        profile: CalibrationProfile,
+        scheme: S,
+        config: DetectorConfig,
+        threshold: f64,
+    ) -> Self {
+        Detector {
+            profile,
+            scheme,
+            config,
+            threshold,
+        }
+    }
+
+    /// The calibration profile.
+    pub fn profile(&self) -> &CalibrationProfile {
+        &self.profile
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// The decision threshold in effect.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Overrides the threshold (ROC sweeps).
+    pub fn set_threshold(&mut self, threshold: f64) {
+        self.threshold = threshold;
+    }
+
+    /// Scores one monitoring window without thresholding.
+    ///
+    /// # Errors
+    /// Propagates scheme errors.
+    pub fn score(&self, window: &[CsiPacket]) -> Result<f64, DetectError> {
+        self.scheme.score(&self.profile, window, &self.config)
+    }
+
+    /// Scores and thresholds one monitoring window.
+    ///
+    /// # Errors
+    /// Propagates scheme errors.
+    pub fn decide(&self, window: &[CsiPacket]) -> Result<Decision, DetectError> {
+        let score = self.score(window)?;
+        Ok(Decision {
+            score,
+            threshold: self.threshold,
+            detected: score > self.threshold,
+        })
+    }
+
+    /// Streams decisions over consecutive non-overlapping windows of a
+    /// packet capture (a trailing partial window is dropped).
+    ///
+    /// # Errors
+    /// Propagates scheme errors.
+    pub fn decide_stream(&self, packets: &[CsiPacket]) -> Result<Vec<Decision>, DetectError> {
+        packets
+            .chunks_exact(self.config.window)
+            .map(|w| self.decide(w))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::{Baseline, SubcarrierWeighting};
+    use mpdf_rfmath::complex::Complex64;
+
+    /// Static packets with mild deterministic jitter; `bump > 0` injects a
+    /// disturbance.
+    fn packets(n: usize, bump: f64, offset: u64) -> Vec<CsiPacket> {
+        (0..n)
+            .map(|i| {
+                let ii = i as u64 + offset;
+                let data: Vec<Complex64> = (0..90)
+                    .map(|j| {
+                        let jitter = 0.005 * ((ii * 31 + j as u64) as f64).sin();
+                        Complex64::from_polar(1.0 + jitter + bump, 0.01 * j as f64)
+                    })
+                    .collect();
+                CsiPacket::new(3, 30, data, ii, ii as f64 * 0.02)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn calibrate_and_detect() {
+        let cfg = DetectorConfig {
+            window: 10,
+            ..DetectorConfig::default()
+        };
+        let det = Detector::calibrate(&packets(80, 0.0, 0), Baseline, cfg, 0.1).unwrap();
+        // Static window: no detection.
+        let calm = det.decide(&packets(10, 0.0, 1000)).unwrap();
+        assert!(!calm.detected, "static score {} thr {}", calm.score, calm.threshold);
+        // Perturbed window: detection.
+        let busy = det.decide(&packets(10, 0.2, 2000)).unwrap();
+        assert!(busy.detected, "busy score {} thr {}", busy.score, busy.threshold);
+        assert!(busy.score > calm.score);
+    }
+
+    #[test]
+    fn insufficient_calibration_is_rejected() {
+        let cfg = DetectorConfig {
+            window: 25,
+            ..DetectorConfig::default()
+        };
+        let err = Detector::calibrate(&packets(30, 0.0, 0), Baseline, cfg, 0.1).unwrap_err();
+        assert!(matches!(err, DetectError::InsufficientCalibration { .. }));
+    }
+
+    #[test]
+    fn decide_stream_chunks_correctly() {
+        let cfg = DetectorConfig {
+            window: 10,
+            ..DetectorConfig::default()
+        };
+        let det = Detector::calibrate(&packets(60, 0.0, 0), Baseline, cfg, 0.1).unwrap();
+        let decisions = det.decide_stream(&packets(35, 0.0, 500)).unwrap();
+        assert_eq!(decisions.len(), 3);
+    }
+
+    #[test]
+    fn threshold_override() {
+        let cfg = DetectorConfig {
+            window: 10,
+            ..DetectorConfig::default()
+        };
+        let mut det =
+            Detector::calibrate(&packets(60, 0.0, 0), SubcarrierWeighting, cfg, 0.1).unwrap();
+        det.set_threshold(0.0);
+        // With a zero threshold any jitter fires.
+        let d = det.decide(&packets(10, 0.0, 900)).unwrap();
+        assert!(d.detected);
+        det.set_threshold(f64::INFINITY);
+        let d = det.decide(&packets(10, 10.0, 900)).unwrap();
+        assert!(!d.detected);
+    }
+
+    #[test]
+    fn from_parts_roundtrip() {
+        let cfg = DetectorConfig {
+            window: 10,
+            ..DetectorConfig::default()
+        };
+        let profile = crate::profile::CalibrationProfile::build(&packets(20, 0.0, 0), &cfg).unwrap();
+        let det = Detector::from_parts(profile, Baseline, cfg, 1.23);
+        assert_eq!(det.threshold(), 1.23);
+        assert_eq!(det.config().window, 10);
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type of the detection pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+use mpdf_music::music::MusicError;
+
+/// Errors produced by calibration and monitoring.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DetectError {
+    /// A packet window was empty.
+    EmptyWindow,
+    /// Packets disagree with the configured band/array shape.
+    ShapeMismatch {
+        /// Expected `(antennas, subcarriers)`.
+        expected: (usize, usize),
+        /// Found `(antennas, subcarriers)`.
+        found: (usize, usize),
+    },
+    /// Too few calibration packets for the requested windowing.
+    InsufficientCalibration {
+        /// Packets supplied.
+        got: usize,
+        /// Minimum required.
+        need: usize,
+    },
+    /// Angle estimation failed.
+    Music(MusicError),
+}
+
+impl fmt::Display for DetectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DetectError::EmptyWindow => write!(f, "packet window is empty"),
+            DetectError::ShapeMismatch { expected, found } => write!(
+                f,
+                "packet shape {found:?} does not match configured {expected:?}"
+            ),
+            DetectError::InsufficientCalibration { got, need } => {
+                write!(f, "calibration needs at least {need} packets, got {got}")
+            }
+            DetectError::Music(e) => write!(f, "angle estimation failed: {e}"),
+        }
+    }
+}
+
+impl Error for DetectError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DetectError::Music(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MusicError> for DetectError {
+    fn from(e: MusicError) -> Self {
+        DetectError::Music(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(DetectError::EmptyWindow.to_string(), "packet window is empty");
+        let e = DetectError::ShapeMismatch {
+            expected: (3, 30),
+            found: (2, 30),
+        };
+        assert!(e.to_string().contains("(2, 30)"));
+        let e = DetectError::InsufficientCalibration { got: 3, need: 50 };
+        assert!(e.to_string().contains("at least 50"));
+    }
+
+    #[test]
+    fn music_error_is_source() {
+        let inner = MusicError::SignalDimTooLarge {
+            sources: 3,
+            elements: 3,
+        };
+        let e = DetectError::from(inner);
+        assert!(e.source().is_some());
+    }
+}

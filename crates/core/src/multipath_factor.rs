@@ -1,0 +1,219 @@
+//! The measurable multipath factor `μ_k` (§IV-A1, Eq. 9–11).
+//!
+//! Per subcarrier `f_k`, `μ_k` is the estimated LOS-power fraction:
+//!
+//! 1. Approximate the total LOS power by the dominant time-domain tap
+//!    `|ĥ(0)|²` (following the paper's refs [11, 21]), computed with a
+//!    non-uniform inverse DFT because the Intel 5300 grid has gaps.
+//! 2. Split it across subcarriers by the free-space `f⁻²` law (Eq. 10).
+//! 3. Divide by the measured per-subcarrier power `|H(f_k)|²` (Eq. 11).
+//!
+//! Scaling convention: the split is normalized so a perfectly flat
+//! (pure-LOS) channel yields `μ_k = 1` on every subcarrier, aligning the
+//! estimator with the theoretical `μ` of Eq. 3. The paper's weighting
+//! scheme is invariant to this overall scale (weights are normalized),
+//! so the convention only affects readability.
+
+use mpdf_rfmath::complex::Complex64;
+use mpdf_rfmath::dft::nudft_at_delay;
+use mpdf_wifi::csi::CsiPacket;
+
+/// Dominant-tap power `|ĥ(0)|²` of one antenna's CFR row.
+///
+/// `ĥ(0) = (1/K)Σ_k H(f_k)` — the delay-zero tap of the (normalized)
+/// inverse non-uniform DFT.
+///
+/// # Panics
+/// Panics if the row and frequency grid lengths differ or are empty.
+pub fn dominant_tap_power(csi_row: &[Complex64], freqs_hz: &[f64]) -> f64 {
+    nudft_at_delay(csi_row, freqs_hz, 0.0).norm_sqr()
+}
+
+/// Per-subcarrier LOS power estimate `P_L(f_k)` (Eq. 10, normalized so a
+/// flat channel gives `P_L(f_k) = |ĥ(0)|²` on every subcarrier).
+///
+/// # Panics
+/// Panics if inputs are empty or lengths differ.
+pub fn los_power_split(h0_power: f64, freqs_hz: &[f64]) -> Vec<f64> {
+    assert!(!freqs_hz.is_empty(), "frequency grid must be non-empty");
+    let k = freqs_hz.len() as f64;
+    let inv_sq_sum: f64 = freqs_hz.iter().map(|f| f.powi(-2)).sum();
+    freqs_hz
+        .iter()
+        .map(|f| k * f.powi(-2) / inv_sq_sum * h0_power)
+        .collect()
+}
+
+/// Multipath factors `μ_k` for one antenna row (Eq. 11).
+///
+/// Subcarriers with (numerically) zero power get `μ_k = 0` rather than an
+/// infinity — a dead subcarrier carries no usable sensitivity signal.
+///
+/// # Panics
+/// Panics if the row and frequency grid lengths differ or are empty.
+pub fn multipath_factors_row(csi_row: &[Complex64], freqs_hz: &[f64]) -> Vec<f64> {
+    assert_eq!(
+        csi_row.len(),
+        freqs_hz.len(),
+        "CSI row and frequency grid must have equal length"
+    );
+    let h0 = dominant_tap_power(csi_row, freqs_hz);
+    let pl = los_power_split(h0, freqs_hz);
+    csi_row
+        .iter()
+        .zip(pl)
+        .map(|(h, p)| {
+            let power = h.norm_sqr();
+            if power <= f64::MIN_POSITIVE {
+                0.0
+            } else {
+                p / power
+            }
+        })
+        .collect()
+}
+
+/// Multipath factors for a whole packet, averaged over antennas —
+/// the per-packet measurement the weighting scheme consumes (the paper
+/// notes μ is "directly measurable at runtime from one packet").
+///
+/// # Panics
+/// Panics if the frequency grid length differs from the packet's
+/// subcarrier count.
+pub fn multipath_factors(packet: &CsiPacket, freqs_hz: &[f64]) -> Vec<f64> {
+    assert_eq!(
+        packet.subcarriers(),
+        freqs_hz.len(),
+        "frequency grid must match packet subcarriers"
+    );
+    let mut acc = vec![0.0; packet.subcarriers()];
+    for a in 0..packet.antennas() {
+        for (slot, v) in acc
+            .iter_mut()
+            .zip(multipath_factors_row(packet.antenna_row(a), freqs_hz))
+        {
+            *slot += v;
+        }
+    }
+    for v in &mut acc {
+        *v /= packet.antennas() as f64;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpdf_wifi::band::Band;
+
+    fn band_freqs() -> Vec<f64> {
+        Band::wifi_2_4ghz_channel11().frequencies()
+    }
+
+    #[test]
+    fn flat_channel_has_unit_mu() {
+        let freqs = band_freqs();
+        let row = vec![Complex64::from_re(2.0); 30];
+        let mus = multipath_factors_row(&row, &freqs);
+        for (k, &mu) in mus.iter().enumerate() {
+            // The f⁻² split leaves a ±0.7 % tilt across the 17.5 MHz band.
+            assert!((mu - 1.0).abs() < 0.01, "subcarrier {k}: μ={mu}");
+        }
+    }
+
+    #[test]
+    fn los_split_follows_inverse_square() {
+        let freqs = band_freqs();
+        let pl = los_power_split(4.0, &freqs);
+        // Lower frequency ⇒ more power.
+        assert!(pl[0] > pl[29]);
+        let ratio = pl[0] / pl[29];
+        let expect = (freqs[29] / freqs[0]).powi(2);
+        assert!((ratio - expect).abs() < 1e-12);
+        // Normalization: mean of the split equals the input power.
+        let mean: f64 = pl.iter().sum::<f64>() / 30.0;
+        assert!((mean - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn destructive_subcarrier_has_large_mu() {
+        // Two-path CFR: H(f_k) = 1 + 0.8·e^{-jφ_k} with φ varying across
+        // the band. Subcarriers near φ=π (destructive) must show larger μ
+        // than those near φ=0 (constructive).
+        let freqs = band_freqs();
+        let excess = 25.0; // metres — multiple phase wraps across the band
+        let row: Vec<Complex64> = freqs
+            .iter()
+            .map(|&f| {
+                let phi =
+                    2.0 * std::f64::consts::PI * f * excess / mpdf_propagation::SPEED_OF_LIGHT;
+                Complex64::ONE + Complex64::from_polar(0.8, -phi)
+            })
+            .collect();
+        let mus = multipath_factors_row(&row, &freqs);
+        let powers: Vec<f64> = row.iter().map(|h| h.norm_sqr()).collect();
+        // Find most/least powerful subcarriers.
+        let (kmax, _) = powers
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        let (kmin, _) = powers
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        assert!(
+            mus[kmin] > mus[kmax],
+            "destructive subcarrier must have larger μ ({} vs {})",
+            mus[kmin],
+            mus[kmax]
+        );
+    }
+
+    #[test]
+    fn mu_is_scale_invariant() {
+        let freqs = band_freqs();
+        let row: Vec<Complex64> = (0..30)
+            .map(|i| Complex64::from_polar(1.0 + 0.02 * i as f64, 0.1 * i as f64))
+            .collect();
+        let scaled: Vec<Complex64> = row.iter().map(|&z| z * 7.0).collect();
+        let a = multipath_factors_row(&row, &freqs);
+        let b = multipath_factors_row(&scaled, &freqs);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9, "μ must not depend on AGC scale");
+        }
+    }
+
+    #[test]
+    fn dead_subcarrier_yields_zero() {
+        let freqs = band_freqs();
+        let mut row = vec![Complex64::ONE; 30];
+        row[7] = Complex64::ZERO;
+        let mus = multipath_factors_row(&row, &freqs);
+        assert_eq!(mus[7], 0.0);
+        assert!(mus[8].is_finite());
+    }
+
+    #[test]
+    fn packet_average_over_antennas() {
+        let freqs = band_freqs();
+        // Antenna 0 flat ×1, antenna 1 flat ×3: both have μ=1 per
+        // subcarrier, so the average is 1.
+        let mut data = vec![Complex64::ONE; 60];
+        for z in data.iter_mut().skip(30) {
+            *z = Complex64::from_re(3.0);
+        }
+        let p = CsiPacket::new(2, 30, data, 0, 0.0);
+        let mus = multipath_factors(&p, &freqs);
+        for &mu in &mus {
+            assert!((mu - 1.0).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn length_mismatch_panics() {
+        let _ = multipath_factors_row(&[Complex64::ONE], &[1.0, 2.0]);
+    }
+}

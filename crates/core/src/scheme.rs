@@ -1,0 +1,418 @@
+//! The three evaluated detection schemes (§V-A).
+//!
+//! 1. [`Baseline`] — Euclidean distance of CSI amplitudes (the
+//!    conventional CSI detector the paper compares against).
+//! 2. [`SubcarrierWeighting`] — Euclidean distance of
+//!    subcarrier-weighted RSS changes (Eq. 15).
+//! 3. [`SubcarrierAndPathWeighting`] — Euclidean distance of subcarrier-
+//!    and path-weighted angular pseudospectra (§IV-C).
+//!
+//! Every scheme maps a monitoring window of packets to a scalar score;
+//! larger scores mean "more different from the calibration profile".
+
+use mpdf_music::covariance::{forward_backward, sample_covariance};
+use mpdf_music::music::bartlett_spectrum;
+use mpdf_wifi::csi::CsiPacket;
+use mpdf_wifi::sanitize::sanitize_packet;
+
+use crate::error::DetectError;
+use crate::profile::{pool_covariances, CalibrationProfile, DetectorConfig};
+use crate::subcarrier_weight::SubcarrierWeights;
+
+/// A detection scheme: window of packets → anomaly score.
+///
+/// Implementations must be deterministic; randomness lives in the
+/// measurement layer.
+pub trait DetectionScheme {
+    /// Short scheme label used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Scores a monitoring window against the profile. Higher = more
+    /// evidence of human presence.
+    ///
+    /// # Errors
+    /// [`DetectError`] on empty windows, shape mismatches, or angle-
+    /// estimation failures.
+    fn score(
+        &self,
+        profile: &CalibrationProfile,
+        window: &[CsiPacket],
+        config: &DetectorConfig,
+    ) -> Result<f64, DetectError>;
+}
+
+/// Validates a window and returns sanitized copies.
+fn sanitized_window(
+    profile: &CalibrationProfile,
+    window: &[CsiPacket],
+    config: &DetectorConfig,
+) -> Result<Vec<CsiPacket>, DetectError> {
+    if window.is_empty() {
+        return Err(DetectError::EmptyWindow);
+    }
+    let expected = (profile.antennas(), profile.subcarriers());
+    for p in window {
+        let found = (p.antennas(), p.subcarriers());
+        if found != expected {
+            return Err(DetectError::ShapeMismatch { expected, found });
+        }
+    }
+    Ok(window
+        .iter()
+        .map(|p| {
+            let mut q = p.clone();
+            sanitize_packet(&mut q, config.band.indices());
+            q
+        })
+        .collect())
+}
+
+fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Scheme 1: Euclidean distance of CSI amplitudes, averaged over antennas
+/// for fairness (§V-A).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Baseline;
+
+impl DetectionScheme for Baseline {
+    fn name(&self) -> &'static str {
+        "baseline"
+    }
+
+    fn score(
+        &self,
+        profile: &CalibrationProfile,
+        window: &[CsiPacket],
+        config: &DetectorConfig,
+    ) -> Result<f64, DetectError> {
+        let window = sanitized_window(profile, window, config)?;
+        let n = window.len() as f64;
+        let mut total = 0.0;
+        for a in 0..profile.antennas() {
+            let mut mean_amp = vec![0.0; profile.subcarriers()];
+            for p in &window {
+                for (k, slot) in mean_amp.iter_mut().enumerate() {
+                    *slot += p.get(a, k).norm();
+                }
+            }
+            for v in &mut mean_amp {
+                *v /= n;
+            }
+            total += euclidean(&mean_amp, &profile.static_amplitude()[a]);
+        }
+        Ok(total / profile.antennas() as f64)
+    }
+}
+
+/// Ablation comparator: a MAC-layer RSSI detector.
+///
+/// Conventional device-free systems (paper §VI) use the single wideband
+/// RSSI instead of per-subcarrier CSI. This scheme collapses each packet
+/// to its total power and scores the |dB change| of the window mean —
+/// everything the frequency-diversity schemes exploit is integrated away.
+/// Included to quantify how much the CSI granularity itself buys.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RssiBaseline;
+
+impl DetectionScheme for RssiBaseline {
+    fn name(&self) -> &'static str {
+        "rssi-baseline"
+    }
+
+    fn score(
+        &self,
+        profile: &CalibrationProfile,
+        window: &[CsiPacket],
+        config: &DetectorConfig,
+    ) -> Result<f64, DetectError> {
+        let window = sanitized_window(profile, window, config)?;
+        let monitored: f64 = window
+            .iter()
+            .map(|p| p.total_power())
+            .sum::<f64>()
+            / window.len() as f64;
+        // Static wideband power from the stored per-subcarrier profile
+        // (antenna-mean), scaled back to a packet total.
+        let static_total: f64 =
+            profile.static_power().iter().sum::<f64>() * profile.antennas() as f64;
+        if static_total <= f64::MIN_POSITIVE || monitored <= f64::MIN_POSITIVE {
+            return Ok(0.0);
+        }
+        Ok((10.0 * (monitored / static_total).log10()).abs())
+    }
+}
+
+/// Scheme 2: subcarrier-weighted RSS change (Eq. 12–15).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SubcarrierWeighting;
+
+impl DetectionScheme for SubcarrierWeighting {
+    fn name(&self) -> &'static str {
+        "subcarrier-weighting"
+    }
+
+    fn score(
+        &self,
+        profile: &CalibrationProfile,
+        window: &[CsiPacket],
+        config: &DetectorConfig,
+    ) -> Result<f64, DetectError> {
+        let window = sanitized_window(profile, window, config)?;
+        let freqs = config.band.frequencies();
+        let weights = SubcarrierWeights::from_packets(&window, &freqs);
+        // Δs(f_k): per-subcarrier RSS change in dB (the paper measures
+        // link sensitivity in dB throughout §III; the multipath factor
+        // predicts *relative* sensitivity, which only the log-domain
+        // difference exposes — destructive subcarriers have small
+        // absolute power but large dB swings).
+        let monitored = CsiPacket::median_power_profile(&window);
+        let delta: Vec<f64> = monitored
+            .iter()
+            .zip(profile.static_power())
+            .map(|(m, s)| {
+                if *s <= f64::MIN_POSITIVE || *m <= f64::MIN_POSITIVE {
+                    0.0
+                } else {
+                    10.0 * (m / s).log10()
+                }
+            })
+            .collect();
+        let weighted = weights.apply(&delta);
+        Ok(weighted.iter().map(|d| d * d).sum::<f64>().sqrt())
+    }
+}
+
+/// Scheme 3: subcarrier weighting + path weighting on angular
+/// pseudospectra (§IV-C).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SubcarrierAndPathWeighting;
+
+impl SubcarrierAndPathWeighting {
+    /// Computes the subcarrier-weighted spatial covariance of a sanitized
+    /// window.
+    fn weighted_covariance(
+        window: &[CsiPacket],
+        weights: &SubcarrierWeights,
+    ) -> Result<mpdf_rfmath::matrix::CMatrix, DetectError> {
+        let subcarriers = window[0].subcarriers();
+        let mut covs = Vec::with_capacity(subcarriers);
+        for k in 0..subcarriers {
+            let snaps: Vec<_> = window.iter().map(|p| p.subcarrier_column(k)).collect();
+            let r = sample_covariance(&snaps).map_err(mpdf_music::music::MusicError::from)?;
+            covs.push(forward_backward(&r));
+        }
+        Ok(pool_covariances(&covs, Some(&weights.weights)))
+    }
+}
+
+impl DetectionScheme for SubcarrierAndPathWeighting {
+    fn name(&self) -> &'static str {
+        "subcarrier+path-weighting"
+    }
+
+    fn score(
+        &self,
+        profile: &CalibrationProfile,
+        window: &[CsiPacket],
+        config: &DetectorConfig,
+    ) -> Result<f64, DetectError> {
+        let window = sanitized_window(profile, window, config)?;
+        let freqs = config.band.frequencies();
+        let weights = SubcarrierWeights::from_packets(&window, &freqs);
+
+        // Monitored side: subcarrier-weighted covariance → angular
+        // *power* spectrum (Bartlett). The MUSIC pseudospectrum is
+        // scale-free — fine for finding angles (it defines the path
+        // weights at calibration), but the detection distance needs the
+        // power-bearing angular profile of the paper's "subcarrier
+        // weighted signal strengths".
+        let monitored_cov = Self::weighted_covariance(&window, &weights)?;
+        let monitored_spectrum =
+            bartlett_spectrum(&monitored_cov, &config.steering, &config.grid)?;
+
+        // Calibration side: the same subcarrier weights applied to the
+        // stored static covariances (the §IV-C linearity argument).
+        let static_cov = profile.weighted_static_covariance(Some(&weights.weights));
+        let static_spectrum = bartlett_spectrum(&static_cov, &config.steering, &config.grid)?;
+
+        // Per-angle RSS change in dB inside the ±60° gate. The gate-mean
+        // is removed first: a flat dB offset is session gain drift (TX
+        // power control / AGC reference), not human presence — humans
+        // *redistribute* angular power. The residual is boosted by the
+        // Eq. 17 path weights and collapsed by the RMS norm.
+        let pw = profile.path_weights();
+        let raw: Vec<f64> = monitored_spectrum
+            .values()
+            .iter()
+            .zip(static_spectrum.values())
+            .map(|(m, s)| {
+                if *m <= f64::MIN_POSITIVE || *s <= f64::MIN_POSITIVE {
+                    0.0
+                } else {
+                    10.0 * (m / s).log10()
+                }
+            })
+            .collect();
+        let gated: Vec<(f64, f64)> = raw
+            .iter()
+            .zip(pw.weights())
+            .filter(|(_, w)| **w > 0.0)
+            .map(|(d, w)| (*d, *w))
+            .collect();
+        if gated.is_empty() {
+            return Ok(0.0);
+        }
+        let mean = gated.iter().map(|(d, _)| d).sum::<f64>() / gated.len() as f64;
+        let sum_sq: f64 = gated
+            .iter()
+            .map(|(d, w)| {
+                let v = w * (d - mean);
+                v * v
+            })
+            .sum();
+        Ok((sum_sq / gated.len() as f64).sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpdf_music::music::UlaSteering;
+    use mpdf_rfmath::complex::Complex64;
+
+    /// Static scene: LOS at 0° plus a weak 35° path.
+    fn scene_packets(n: usize, perturb: f64, perturb_angle_deg: f64) -> Vec<CsiPacket> {
+        let steering = UlaSteering::three_half_wavelength();
+        (0..n)
+            .map(|i| {
+                let mut data = Vec::with_capacity(90);
+                for a in 0..3 {
+                    for k in 0..30 {
+                        let los = Complex64::from_polar(1.0, 0.02 * k as f64);
+                        let side = steering.vector(35f64.to_radians())[a]
+                            * Complex64::from_polar(0.3, 0.3 * k as f64);
+                        let human = steering.vector(perturb_angle_deg.to_radians())[a]
+                            * Complex64::from_polar(perturb, 0.9 * k as f64 + 0.4);
+                        data.push(los + side + human);
+                    }
+                }
+                CsiPacket::new(3, 30, data, i as u64, i as f64 * 0.02)
+            })
+            .collect()
+    }
+
+    fn profile_and_config() -> (CalibrationProfile, DetectorConfig) {
+        let cfg = DetectorConfig::default();
+        let profile = CalibrationProfile::build(&scene_packets(30, 0.0, 0.0), &cfg).unwrap();
+        (profile, cfg)
+    }
+
+    #[test]
+    fn all_schemes_score_zero_ish_on_static_scene() {
+        let (profile, cfg) = profile_and_config();
+        let window = scene_packets(10, 0.0, 0.0);
+        for scheme in [
+            &Baseline as &dyn DetectionScheme,
+            &RssiBaseline,
+            &SubcarrierWeighting,
+            &SubcarrierAndPathWeighting,
+        ] {
+            let s = scheme.score(&profile, &window, &cfg).unwrap();
+            assert!(s < 1e-6, "{} static score {s}", scheme.name());
+        }
+    }
+
+    #[test]
+    fn all_schemes_react_to_perturbation() {
+        let (profile, cfg) = profile_and_config();
+        let calm = scene_packets(10, 0.0, 0.0);
+        let busy = scene_packets(10, 0.4, -20.0);
+        for scheme in [
+            &Baseline as &dyn DetectionScheme,
+            &RssiBaseline,
+            &SubcarrierWeighting,
+            &SubcarrierAndPathWeighting,
+        ] {
+            let s0 = scheme.score(&profile, &calm, &cfg).unwrap();
+            let s1 = scheme.score(&profile, &busy, &cfg).unwrap();
+            assert!(
+                s1 > 10.0 * s0.max(1e-12),
+                "{}: calm {s0} busy {s1}",
+                scheme.name()
+            );
+        }
+    }
+
+    #[test]
+    fn scores_grow_with_perturbation_strength() {
+        let (profile, cfg) = profile_and_config();
+        let weak = scene_packets(10, 0.1, -20.0);
+        let strong = scene_packets(10, 0.5, -20.0);
+        for scheme in [
+            &Baseline as &dyn DetectionScheme,
+            &SubcarrierWeighting,
+            &SubcarrierAndPathWeighting,
+        ] {
+            let sw = scheme.score(&profile, &weak, &cfg).unwrap();
+            let ss = scheme.score(&profile, &strong, &cfg).unwrap();
+            assert!(ss > sw, "{}: weak {sw} strong {ss}", scheme.name());
+        }
+    }
+
+    #[test]
+    fn empty_window_is_an_error() {
+        let (profile, cfg) = profile_and_config();
+        for scheme in [
+            &Baseline as &dyn DetectionScheme,
+            &SubcarrierWeighting,
+            &SubcarrierAndPathWeighting,
+        ] {
+            assert_eq!(
+                scheme.score(&profile, &[], &cfg),
+                Err(DetectError::EmptyWindow),
+                "{}",
+                scheme.name()
+            );
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_is_an_error() {
+        let (profile, cfg) = profile_and_config();
+        let bad = CsiPacket::new(2, 30, vec![Complex64::ONE; 60], 0, 0.0);
+        let err = Baseline.score(&profile, &[bad], &cfg).unwrap_err();
+        assert!(matches!(err, DetectError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn scheme_names() {
+        assert_eq!(Baseline.name(), "baseline");
+        assert_eq!(RssiBaseline.name(), "rssi-baseline");
+        assert_eq!(SubcarrierWeighting.name(), "subcarrier-weighting");
+        assert_eq!(
+            SubcarrierAndPathWeighting.name(),
+            "subcarrier+path-weighting"
+        );
+    }
+
+    #[test]
+    fn schemes_are_deterministic() {
+        let (profile, cfg) = profile_and_config();
+        let window = scene_packets(8, 0.3, 10.0);
+        for scheme in [
+            &Baseline as &dyn DetectionScheme,
+            &SubcarrierWeighting,
+            &SubcarrierAndPathWeighting,
+        ] {
+            let a = scheme.score(&profile, &window, &cfg).unwrap();
+            let b = scheme.score(&profile, &window, &cfg).unwrap();
+            assert_eq!(a, b, "{}", scheme.name());
+        }
+    }
+}

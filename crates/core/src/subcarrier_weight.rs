@@ -1,0 +1,259 @@
+//! Subcarrier weighting (§IV-A2, Eq. 12–15).
+//!
+//! Subcarriers with consistently large multipath factors are more
+//! sensitive to human presence; the weighting scheme boosts them and
+//! penalizes unstable or insensitive ones:
+//!
+//! - Eq. 12 — single-packet weights `|μ_k / Σμ_k|`.
+//! - Eq. 13/14 — the stability ratio `r_k`: the fraction of packets in
+//!   which subcarrier `k`'s factor exceeds that packet's median factor.
+//! - Eq. 15 — combined weights `|μ̄_k·r_k / (Σμ̄ · Σr)|` applied to the
+//!   per-subcarrier RSS changes `Δs(f_k)`.
+
+use serde::{Deserialize, Serialize};
+
+use mpdf_rfmath::stats::median;
+use mpdf_wifi::csi::CsiPacket;
+
+use crate::multipath_factor::multipath_factors;
+
+/// Single-packet subcarrier weights (Eq. 12): `w_k = |μ_k / Σ_j μ_j|`.
+///
+/// Returns uniform weights when the factors sum to zero (all-dead packet).
+pub fn single_packet_weights(mus: &[f64]) -> Vec<f64> {
+    let total: f64 = mus.iter().sum();
+    if total.abs() <= f64::MIN_POSITIVE {
+        return vec![1.0 / mus.len().max(1) as f64; mus.len()];
+    }
+    mus.iter().map(|&m| (m / total).abs()).collect()
+}
+
+/// Multi-packet subcarrier weights (Eq. 13–15).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubcarrierWeights {
+    /// Temporal mean multipath factor `μ̄_k` (winsorized at
+    /// [`SubcarrierWeights::MU_CLIP`]).
+    pub mean_mu: Vec<f64>,
+    /// Stability ratio `r_k ∈ [0, 1]`.
+    pub stability: Vec<f64>,
+    /// Final combined weights (Eq. 15's multiplier per subcarrier).
+    pub weights: Vec<f64>,
+}
+
+impl SubcarrierWeights {
+    /// Winsorization bound on per-packet multipath factors. A deep-faded
+    /// subcarrier has `|H|² ≈ 0` in Eq. 11's denominator, so one noisy
+    /// packet can report `μ` in the hundreds and hijack the temporal
+    /// mean `μ̄_k`. Physically meaningful factors stay below ~10 (total
+    /// destructive superposition of comparable paths); everything above
+    /// is clipped before aggregation.
+    pub const MU_CLIP: f64 = 10.0;
+
+    /// Computes the weights from the multipath factors of `M` packets
+    /// (one `Vec<f64>` per packet).
+    ///
+    /// # Panics
+    /// Panics when `per_packet_mus` is empty or rows have differing
+    /// lengths.
+    pub fn from_factors(per_packet_mus: &[Vec<f64>]) -> Self {
+        assert!(!per_packet_mus.is_empty(), "need at least one packet");
+        let k = per_packet_mus[0].len();
+        assert!(
+            per_packet_mus.iter().all(|m| m.len() == k),
+            "all packets must report the same subcarrier count"
+        );
+        let m_count = per_packet_mus.len() as f64;
+
+        // Eq. 13/14: per-packet medians and exceedance counts.
+        let mut mean_mu = vec![0.0; k];
+        let mut exceed = vec![0usize; k];
+        for mus in per_packet_mus {
+            let med = median(mus);
+            for (i, &mu) in mus.iter().enumerate() {
+                mean_mu[i] += mu.min(Self::MU_CLIP);
+                if mu > med {
+                    exceed[i] += 1;
+                }
+            }
+        }
+        for v in &mut mean_mu {
+            *v /= m_count;
+        }
+        let stability: Vec<f64> = exceed.iter().map(|&c| c as f64 / m_count).collect();
+
+        // Eq. 15 normalizer.
+        let sum_mu: f64 = mean_mu.iter().sum();
+        let sum_r: f64 = stability.iter().sum();
+        let denom = sum_mu * sum_r;
+        let weights = if denom.abs() <= f64::MIN_POSITIVE {
+            vec![1.0 / k as f64; k]
+        } else {
+            mean_mu
+                .iter()
+                .zip(&stability)
+                .map(|(&mu, &r)| (mu * r / denom).abs())
+                .collect()
+        };
+        SubcarrierWeights {
+            mean_mu,
+            stability,
+            weights,
+        }
+    }
+
+    /// Computes the weights directly from a window of CSI packets.
+    ///
+    /// # Panics
+    /// Panics when the window is empty or the frequency grid mismatches.
+    pub fn from_packets(window: &[CsiPacket], freqs_hz: &[f64]) -> Self {
+        assert!(!window.is_empty(), "need at least one packet");
+        let factors: Vec<Vec<f64>> = window
+            .iter()
+            .map(|p| multipath_factors(p, freqs_hz))
+            .collect();
+        SubcarrierWeights::from_factors(&factors)
+    }
+
+    /// Number of subcarriers.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True when no subcarriers are present (cannot happen via
+    /// constructors, provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Applies the weights to per-subcarrier RSS changes (Eq. 15's
+    /// `Δs̃(f_k) = w_k · Δs(f_k)`).
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn apply(&self, delta_s: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            delta_s.len(),
+            self.weights.len(),
+            "Δs length must match weights"
+        );
+        delta_s
+            .iter()
+            .zip(&self.weights)
+            .map(|(&d, &w)| w * d)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_packet_weights_normalize() {
+        let mus = vec![1.0, 2.0, 3.0, 4.0];
+        let w = single_packet_weights(&mus);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(w[3] > w[0]);
+        assert!((w[1] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_packet_weights_handle_all_zero() {
+        let w = single_packet_weights(&[0.0, 0.0]);
+        assert_eq!(w, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn stability_ratio_counts_median_exceedances() {
+        // 3 subcarriers, 4 packets. Subcarrier 2 always above the median,
+        // subcarrier 0 never.
+        let mus = vec![
+            vec![0.1, 1.0, 2.0],
+            vec![0.2, 1.1, 2.2],
+            vec![0.1, 0.9, 1.9],
+            vec![0.3, 1.2, 2.5],
+        ];
+        let w = SubcarrierWeights::from_factors(&mus);
+        assert_eq!(w.stability[0], 0.0);
+        assert_eq!(w.stability[1], 0.0); // equals median ⇒ not greater
+        assert_eq!(w.stability[2], 1.0);
+        // Mean μ per subcarrier.
+        assert!((w.mean_mu[2] - 2.15).abs() < 1e-12);
+        // Weight concentrates on the stable, large-μ subcarrier.
+        let max_w = w.weights.iter().cloned().fold(f64::MIN, f64::max);
+        assert_eq!(w.weights[2], max_w);
+    }
+
+    #[test]
+    fn unstable_subcarrier_is_penalized_vs_mean_only() {
+        // Two subcarriers with the same temporal mean μ, but one flips
+        // above/below the median while the other stays high (the Fig. 4
+        // scenario). Weighting must prefer the stable one.
+        // Use 4 subcarriers so the median is defined by the others.
+        let mus = vec![
+            vec![3.0, 0.5, 1.0, 1.2], // sc0 high, sc1 low
+            vec![0.2, 3.3, 1.0, 1.2], // sc0 low, sc1 high
+            vec![3.0, 0.5, 1.0, 1.2],
+            vec![3.0, 0.5, 1.0, 1.2],
+        ];
+        // sc0 mean = 2.3 exceeds median in 3/4 packets; sc1 mean = 1.2
+        // exceeds in 1/4.
+        let w = SubcarrierWeights::from_factors(&mus);
+        assert!(w.stability[0] > w.stability[1]);
+        assert!(w.weights[0] > w.weights[1]);
+    }
+
+    #[test]
+    fn weights_are_nonnegative_and_apply_elementwise() {
+        let mus = vec![vec![1.0, 2.0, 0.5], vec![1.5, 1.8, 0.7]];
+        let w = SubcarrierWeights::from_factors(&mus);
+        assert!(w.weights.iter().all(|&x| x >= 0.0));
+        let ds = vec![-3.0, 5.0, 1.0];
+        let weighted = w.apply(&ds);
+        for i in 0..3 {
+            assert!((weighted[i] - w.weights[i] * ds[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn degenerate_all_zero_factors_fall_back_to_uniform() {
+        let mus = vec![vec![0.0, 0.0, 0.0]];
+        let w = SubcarrierWeights::from_factors(&mus);
+        for &x in &w.weights {
+            assert!((x - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn from_packets_smoke() {
+        use mpdf_rfmath::complex::Complex64;
+        use mpdf_wifi::band::Band;
+        let band = Band::wifi_2_4ghz_channel11();
+        let freqs = band.frequencies();
+        let data = vec![Complex64::ONE; 3 * 30];
+        let packets = vec![
+            CsiPacket::new(3, 30, data.clone(), 0, 0.0),
+            CsiPacket::new(3, 30, data, 1, 0.02),
+        ];
+        let w = SubcarrierWeights::from_packets(&packets, &freqs);
+        assert_eq!(w.len(), 30);
+        assert!(!w.is_empty());
+        assert!(w.weights.iter().all(|&x| x.is_finite() && x >= 0.0));
+        // On a flat channel the f⁻² split makes lower-frequency
+        // subcarriers report slightly larger μ, so they cannot be
+        // weighted below the upper ones.
+        assert!(w.weights[0] >= w.weights[29]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one packet")]
+    fn empty_window_panics() {
+        let _ = SubcarrierWeights::from_factors(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same subcarrier count")]
+    fn ragged_factors_panic() {
+        let _ = SubcarrierWeights::from_factors(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

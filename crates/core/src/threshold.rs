@@ -1,0 +1,132 @@
+//! Threshold selection (§IV-C: "determined by the variations of the
+//! static profile with respect to certain false positive ... requirements").
+//!
+//! Scores of held-out *static* windows form an empirical null
+//! distribution; the detection threshold is its `(1 − target FP)`
+//! quantile. The ROC experiments instead sweep the threshold over the
+//! whole score range.
+
+use mpdf_rfmath::stats::Ecdf;
+use mpdf_wifi::csi::CsiPacket;
+
+use crate::error::DetectError;
+use crate::profile::{CalibrationProfile, DetectorConfig};
+use crate::scheme::DetectionScheme;
+
+/// Scores consecutive windows of static packets against the profile —
+/// the null-score distribution.
+///
+/// Windows are non-overlapping chunks of `config.window` packets; a
+/// trailing partial window is dropped.
+///
+/// # Errors
+/// Propagates scheme errors; returns [`DetectError::InsufficientCalibration`]
+/// when fewer than one full window of packets is supplied.
+pub fn static_score_distribution<S: DetectionScheme + ?Sized>(
+    profile: &CalibrationProfile,
+    static_packets: &[CsiPacket],
+    scheme: &S,
+    config: &DetectorConfig,
+) -> Result<Vec<f64>, DetectError> {
+    if static_packets.len() < config.window {
+        return Err(DetectError::InsufficientCalibration {
+            got: static_packets.len(),
+            need: config.window,
+        });
+    }
+    static_packets
+        .chunks_exact(config.window)
+        .map(|w| scheme.score(profile, w, config))
+        .collect()
+}
+
+/// Threshold achieving approximately the target false-positive rate on
+/// the null scores.
+///
+/// # Panics
+/// Panics if `scores` is empty or `target_fp` outside `(0, 1)`.
+pub fn threshold_for_fp(scores: &[f64], target_fp: f64) -> f64 {
+    assert!(!scores.is_empty(), "need null scores");
+    assert!(
+        target_fp > 0.0 && target_fp < 1.0,
+        "target FP must be in (0, 1)"
+    );
+    let ecdf = Ecdf::new(scores);
+    // Smallest score with F(x) ≥ 1 − fp; nudge up so scores equal to the
+    // quantile don't fire.
+    let q = ecdf.quantile(1.0 - target_fp);
+    q * (1.0 + 1e-9) + f64::MIN_POSITIVE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::Baseline;
+    use mpdf_rfmath::complex::Complex64;
+
+    fn packets(n: usize, wiggle: f64) -> Vec<CsiPacket> {
+        (0..n)
+            .map(|i| {
+                let data: Vec<Complex64> = (0..90)
+                    .map(|j| {
+                        Complex64::from_polar(
+                            1.0 + wiggle * ((i * 13 + j) as f64).sin() * 0.01,
+                            0.01 * j as f64,
+                        )
+                    })
+                    .collect();
+                CsiPacket::new(3, 30, data, i as u64, i as f64 * 0.02)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn distribution_has_one_score_per_window() {
+        let cfg = DetectorConfig {
+            window: 10,
+            ..DetectorConfig::default()
+        };
+        let profile = CalibrationProfile::build(&packets(30, 1.0), &cfg).unwrap();
+        let scores =
+            static_score_distribution(&profile, &packets(45, 1.0), &Baseline, &cfg).unwrap();
+        assert_eq!(scores.len(), 4); // 45/10 = 4 full windows
+        assert!(scores.iter().all(|s| s.is_finite() && *s >= 0.0));
+    }
+
+    #[test]
+    fn too_few_packets_is_an_error() {
+        let cfg = DetectorConfig {
+            window: 25,
+            ..DetectorConfig::default()
+        };
+        let profile = CalibrationProfile::build(&packets(30, 1.0), &cfg).unwrap();
+        let err =
+            static_score_distribution(&profile, &packets(10, 1.0), &Baseline, &cfg).unwrap_err();
+        assert!(matches!(
+            err,
+            DetectError::InsufficientCalibration { got: 10, need: 25 }
+        ));
+    }
+
+    #[test]
+    fn threshold_sits_above_most_null_scores() {
+        let scores: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let thr = threshold_for_fp(&scores, 0.05);
+        let fired = scores.iter().filter(|&&s| s > thr).count();
+        assert_eq!(fired, 5);
+    }
+
+    #[test]
+    fn zero_variance_null_still_works() {
+        let scores = vec![2.0; 50];
+        let thr = threshold_for_fp(&scores, 0.1);
+        assert!(thr > 2.0);
+        assert_eq!(scores.iter().filter(|&&s| s > thr).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "target FP")]
+    fn silly_fp_panics() {
+        threshold_for_fp(&[1.0], 1.5);
+    }
+}

@@ -1,0 +1,199 @@
+//! `repro` — regenerate any table/figure of the paper's evaluation.
+//!
+//! Usage: `repro [options] <experiment>...`
+//!
+//! Experiments: `fig2a fig2b fig3 fig4 fig5b fig5c fig7 fig8 fig9 fig10
+//! fig11 fig12 ext-hmm ext-array ext-ablate all`
+//!
+//! Options (all take a number unless noted): `--snr --bg --bgdist --sway
+//! --seed --episodes --drift --gaindrift --intf --intfpow --locations
+//! --packets --csvdir <dir>` (the last exports each experiment's key
+//! series as CSV for plotting)
+
+use mpdf_eval::experiments as exp;
+use mpdf_eval::workload::CampaignConfig;
+
+struct Options {
+    cfg: CampaignConfig,
+    locations: usize,
+    packets: usize,
+    csv_dir: Option<std::path::PathBuf>,
+    experiments: Vec<String>,
+}
+
+fn parse_args() -> Options {
+    let mut cfg = CampaignConfig::default();
+    let mut locations = 300usize;
+    let mut packets = 1000usize;
+    let mut experiments = Vec::new();
+    let mut csv_dir = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        if let Some(flag) = a.strip_prefix("--") {
+            if flag == "csvdir" {
+                csv_dir = Some(std::path::PathBuf::from(
+                    iter.next().expect("missing value for --csvdir"),
+                ));
+                continue;
+            }
+            let v: f64 = iter
+                .next()
+                .unwrap_or_else(|| panic!("missing value for --{flag}"))
+                .parse()
+                .unwrap_or_else(|_| panic!("bad value for --{flag}"));
+            match flag {
+                "snr" => cfg.snr_db = v,
+                "bg" => cfg.background_rate = v,
+                "bgdist" => cfg.background_distance = v,
+                "sway" => cfg.sway_amplitude = v,
+                "seed" => cfg.seed = v as u64,
+                "episodes" => cfg.episodes_per_position = v as usize,
+                "drift" => cfg.clutter_drift_rel = v,
+                "gaindrift" => cfg.session_gain_drift_db = v,
+                "intf" => cfg.interference_prob = v,
+                "intfpow" => cfg.interference_power_db = v,
+                "locations" => locations = v as usize,
+                "packets" => packets = v as usize,
+                other => panic!("unknown option --{other}"),
+            }
+        } else {
+            experiments.push(a.clone());
+        }
+    }
+    if experiments.is_empty() {
+        experiments.push("fig7".to_string());
+    }
+    Options {
+        cfg,
+        locations,
+        packets,
+        csv_dir,
+        experiments,
+    }
+}
+
+/// Writes a CSV artifact if `--csvdir` was given.
+fn write_csv(dir: &Option<std::path::PathBuf>, name: &str, contents: String) {
+    if let Some(dir) = dir {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+        let path = dir.join(format!("{name}.csv"));
+        std::fs::write(&path, contents).expect("write csv");
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let all = [
+        "fig2a", "fig2b", "fig3", "fig4", "fig5b", "fig5c", "fig7", "fig8", "fig9", "fig10",
+        "fig11", "fig12", "ext-hmm", "ext-array", "ext-ablate", "ext-sweep",
+    ];
+    let selected: Vec<&str> = if opts.experiments.iter().any(|e| e == "all") {
+        all.to_vec()
+    } else {
+        opts.experiments.iter().map(String::as_str).collect()
+    };
+    for name in selected {
+        let started = std::time::Instant::now();
+        let csv = &opts.csv_dir;
+        let report = match name {
+            "fig2a" => {
+                let r = exp::fig2::run_fig2a(&opts.cfg, opts.locations);
+                write_csv(csv, "fig2a_cdf", mpdf_eval::report::csv_series("delta_s_db", "cdf", &r.cdf));
+                exp::fig2::report_fig2a(&r)
+            }
+            "fig2b" => {
+                let r = exp::fig2::run_fig2b(&opts.cfg, opts.packets);
+                write_csv(csv, "fig2b_drop_slot", mpdf_eval::report::csv_series("packet", "ds_db", &r.subcarrier_a));
+                write_csv(csv, "fig2b_rise_slot", mpdf_eval::report::csv_series("packet", "ds_db", &r.subcarrier_b));
+                exp::fig2::report_fig2b(&r)
+            }
+            "fig3" => {
+                let r = exp::fig3::run(&opts.cfg, opts.locations);
+                write_csv(csv, "fig3a_cdf", mpdf_eval::report::csv_series("mu", "cdf", &r.distribution.cdf));
+                let mut rows = vec![vec!["slot".into(), "a".into(), "b".into(), "r2".into()]];
+                for f in &r.fits {
+                    rows.push(vec![f.slot.to_string(), f.fit.slope.to_string(), f.fit.intercept.to_string(), f.fit.r_squared.to_string()]);
+                }
+                write_csv(csv, "fig3c_fits", mpdf_eval::report::csv(&rows));
+                exp::fig3::report(&r)
+            }
+            "fig4" => exp::fig4::report(&exp::fig4::run(&opts.cfg, 2000)),
+            "fig5b" => {
+                let r = exp::fig5::run_fig5b(&opts.cfg);
+                write_csv(csv, "fig5b_spectrum", mpdf_eval::report::csv_series("angle_deg", "ps", &r.spectrum));
+                exp::fig5::report_fig5b(&r)
+            }
+            "fig5c" => {
+                let r = exp::fig5::run_fig5c(&opts.cfg);
+                write_csv(csv, "fig5c_rss_by_angle", mpdf_eval::report::csv_series("angle_deg", "mean_abs_ds_db", &r.rss_change_by_angle));
+                exp::fig5::report_fig5c(&r)
+            }
+            "fig7" => {
+                let r = exp::fig7::run(&opts.cfg).expect("fig7");
+                for s in &r.schemes {
+                    let tag = s.name.replace(['+', ' '], "_");
+                    write_csv(csv, &format!("fig7_roc_{tag}"), mpdf_eval::report::csv_series("fp", "tp", &s.roc_points));
+                }
+                exp::fig7::report(&r)
+            }
+            "fig8" => {
+                let r = exp::fig8::run(&opts.cfg).expect("fig8");
+                let mut rows = vec![vec!["case".into(), "baseline".into(), "subcarrier".into(), "combined".into()]];
+                for (id, b, s2, c) in &r.rows {
+                    rows.push(vec![id.to_string(), b.to_string(), s2.to_string(), c.to_string()]);
+                }
+                write_csv(csv, "fig8_cases", mpdf_eval::report::csv(&rows));
+                exp::fig8::report(&r)
+            }
+            "fig9" => {
+                let r = exp::fig9::run(&opts.cfg).expect("fig9");
+                let mut rows = vec![vec!["distance_m".into(), "baseline".into(), "subcarrier".into(), "combined".into()]];
+                for (d, b, s2, c) in &r.rows {
+                    rows.push(vec![d.to_string(), b.to_string(), s2.to_string(), c.to_string()]);
+                }
+                write_csv(csv, "fig9_distance", mpdf_eval::report::csv(&rows));
+                exp::fig9::report(&r)
+            }
+            "fig10" => {
+                let r = exp::fig10::run(&opts.cfg);
+                write_csv(csv, "fig10_single_packet", mpdf_eval::report::csv_series("error_deg", "cdf", &r.single_packet_cdf));
+                write_csv(csv, "fig10_averaged", mpdf_eval::report::csv_series("error_deg", "cdf", &r.averaged_cdf));
+                exp::fig10::report(&r)
+            }
+            "fig11" => {
+                let r = exp::fig11::run(&opts.cfg).expect("fig11");
+                let mut rows = vec![vec!["angle_deg".into(), "subcarrier".into(), "combined".into()]];
+                for (a, s2, c) in &r.rows {
+                    rows.push(vec![a.to_string(), s2.to_string(), c.to_string()]);
+                }
+                write_csv(csv, "fig11_angles", mpdf_eval::report::csv(&rows));
+                exp::fig11::report(&r)
+            }
+            "fig12" => {
+                let r = exp::fig12::run(&opts.cfg).expect("fig12");
+                let mut rows = vec![vec!["packets".into(), "seconds".into(), "baseline".into(), "subcarrier".into(), "combined".into()]];
+                for (w, t, b, s2, c) in &r.rows {
+                    rows.push(vec![w.to_string(), t.to_string(), b.to_string(), s2.to_string(), c.to_string()]);
+                }
+                write_csv(csv, "fig12_windows", mpdf_eval::report::csv(&rows));
+                exp::fig12::report(&r)
+            }
+            "ext-hmm" => exp::ext_hmm::report(&exp::ext_hmm::run(&opts.cfg).expect("ext-hmm")),
+            "ext-array" => exp::ext_array::report(&exp::ext_array::run(&opts.cfg)),
+            "ext-sweep" => {
+                exp::ext_sweep::report(&exp::ext_sweep::run(&opts.cfg).expect("ext-sweep"))
+            }
+            "ext-ablate" => {
+                exp::ext_ablate::report(&exp::ext_ablate::run(&opts.cfg).expect("ext-ablate"))
+            }
+            other => {
+                eprintln!("unknown experiment `{other}`; known: {all:?} or `all`");
+                std::process::exit(2);
+            }
+        };
+        println!("{report}");
+        eprintln!("[{name} done in {:.1}s]\n", started.elapsed().as_secs_f64());
+    }
+}

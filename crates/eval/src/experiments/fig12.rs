@@ -1,0 +1,91 @@
+//! Fig. 12 — impact of the packet budget per decision.
+//!
+//! Paper: at 50 pkt/s the detection rate saturates within ≈0.5 s of
+//! packets — the weighting schemes add negligible computational latency,
+//! so response time is packet-budget-bound.
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::{LabeledScore, RocCurve};
+use crate::workload::CampaignConfig;
+
+use super::fig7::run_campaign_scores;
+
+/// Balanced detection rates vs window size.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig12Result {
+    /// Rows of `(window packets, seconds at 50 pkt/s, baseline TP,
+    /// subcarrier TP, combined TP)` at each scheme's balanced threshold.
+    pub rows: Vec<(usize, f64, f64, f64, f64)>,
+    /// Smallest window whose combined-scheme TP is within 5 points of the
+    /// best TP over all window sizes — the packet budget needed for
+    /// near-peak accuracy.
+    pub saturation_window: usize,
+}
+
+fn balanced_tp(scores: &[crate::workload::ScoredWindow]) -> f64 {
+    let labeled: Vec<LabeledScore> = scores.iter().map(|s| s.labeled()).collect();
+    RocCurve::from_scores(&labeled).balanced_operating_point().tp
+}
+
+/// Runs Fig. 12 by re-running reduced campaigns at several window sizes.
+///
+/// # Errors
+/// Propagates pipeline errors.
+pub fn run(cfg: &CampaignConfig) -> Result<Fig12Result, mpdf_core::error::DetectError> {
+    let windows = [5usize, 10, 25, 50, 100];
+    let mut rows = Vec::with_capacity(windows.len());
+    for &w in &windows {
+        let mut wcfg = cfg.clone();
+        wcfg.detector.window = w;
+        let scores = run_campaign_scores(&wcfg)?;
+        rows.push((
+            w,
+            w as f64 / 50.0,
+            balanced_tp(&scores.baseline),
+            balanced_tp(&scores.subcarrier),
+            balanced_tp(&scores.combined),
+        ));
+    }
+    let best = rows.iter().map(|r| r.4).fold(0.0f64, f64::max);
+    let saturation_window = rows
+        .iter()
+        .find(|r| r.4 >= best - 0.05)
+        .map(|r| r.0)
+        .unwrap_or(*windows.last().unwrap());
+    Ok(Fig12Result {
+        rows,
+        saturation_window,
+    })
+}
+
+/// Renders the report.
+pub fn report(r: &Fig12Result) -> String {
+    let mut out = String::from("Fig. 12 — detection rate vs packets per decision\n");
+    let rows: Vec<Vec<String>> = r
+        .rows
+        .iter()
+        .map(|(w, secs, b, s, c)| {
+            vec![
+                format!("{w}"),
+                format!("{secs:.2} s"),
+                crate::report::pct(*b),
+                crate::report::pct(*s),
+                crate::report::pct(*c),
+            ]
+        })
+        .collect();
+    out.push_str(&crate::report::table(
+        &["packets", "time@50Hz", "baseline", "subcarrier", "sub+path"],
+        &rows,
+    ));
+    out.push_str(&format!(
+        "combined scheme reaches near-peak accuracy from {} packets ({:.2} s)\n",
+        r.saturation_window,
+        r.saturation_window as f64 / 50.0
+    ));
+    out.push_str(
+        "paper: rates stay almost stable and saturate by ≈0.5 s — detection needs\n         well under a second of packets (our swaying-subject model mildly favours\n         short windows instead of mildly favouring long ones)\n",
+    );
+    out
+}

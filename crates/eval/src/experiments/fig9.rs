@@ -1,0 +1,146 @@
+//! Fig. 9 — detection rate vs. human distance from the receiver.
+//!
+//! Paper: the baseline collapses below 60 % at 5 m; both weighted schemes
+//! stay above 90 %, and path weighting gains the most (≈12 %) for distant
+//! humans — roughly doubling the usable detection range at a 90 %
+//! detection-rate requirement.
+
+use serde::{Deserialize, Serialize};
+
+use mpdf_core::scheme::{
+    Baseline, DetectionScheme, SubcarrierAndPathWeighting, SubcarrierWeighting,
+};
+use mpdf_propagation::human::HumanBody;
+use mpdf_propagation::trajectory::StaticSway;
+use mpdf_wifi::receiver::Actor;
+
+use crate::metrics::detection_rate;
+use crate::scenario::{distance_ring_positions, five_cases};
+use crate::workload::{case_receiver, CampaignConfig};
+
+use super::fig7::{run_campaign_scores, CampaignScores};
+
+/// Detection rates per distance bin.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig9Result {
+    /// Rows of `(distance m, baseline, subcarrier, combined)`.
+    pub rows: Vec<(f64, f64, f64, f64)>,
+    /// Largest distance at which each scheme still reaches 90 %:
+    /// `(baseline, subcarrier, combined)`.
+    pub range_at_90: (f64, f64, f64),
+}
+
+/// Runs Fig. 9: distance rings 1–5 m on the two longest links, scored
+/// with the thresholds of the shared Fig. 7 campaign.
+///
+/// # Errors
+/// Propagates pipeline errors.
+pub fn run(cfg: &CampaignConfig) -> Result<Fig9Result, mpdf_core::error::DetectError> {
+    let shared = run_campaign_scores(cfg)?;
+    let thr_b = CampaignScores::balanced_threshold(&shared.baseline);
+    let thr_s = CampaignScores::balanced_threshold(&shared.subcarrier);
+    let thr_c = CampaignScores::balanced_threshold(&shared.combined);
+
+    let distances = [1.0, 2.0, 3.0, 4.0, 5.0];
+    let cases = five_cases();
+    // Use the two longest links so 5 m positions exist.
+    let mut picked: Vec<_> = cases.iter().collect();
+    picked.sort_by(|a, b| b.link_length().partial_cmp(&a.link_length()).unwrap());
+    let picked = &picked[..2];
+
+    /// Scores per distance bin: `(distance, baseline, subcarrier, combined)`.
+    type DistanceBin = (f64, Vec<f64>, Vec<f64>, Vec<f64>);
+    let mut per_distance: Vec<DistanceBin> = distances
+        .iter()
+        .map(|&d| (d, Vec::new(), Vec::new(), Vec::new()))
+        .collect();
+
+    for case in picked {
+        let mut receiver = case_receiver(case, cfg, cfg.seed ^ 0x919 ^ case.id as u64)
+            .expect("valid link");
+        let calibration = receiver
+            .capture_static(None, cfg.calibration_packets)
+            .expect("capture");
+        let profile =
+            mpdf_core::profile::CalibrationProfile::build(&calibration, &cfg.detector)?;
+        for (d, pos) in distance_ring_positions(case, &distances) {
+            for episode in 0..cfg.episodes_per_position {
+                receiver.resample_drift();
+                let sway = StaticSway::new(pos, cfg.sway_amplitude);
+                let actors = [Actor {
+                    body: HumanBody::new(pos),
+                    trajectory: &sway,
+                }];
+                let window = receiver
+                    .capture_actors(&actors, cfg.detector.window)
+                    .expect("capture");
+                let slot = per_distance
+                    .iter_mut()
+                    .find(|(dd, ..)| (*dd - d).abs() < 1e-9)
+                    .expect("distance bin");
+                slot.1.push(Baseline.score(&profile, &window, &cfg.detector)?);
+                slot.2
+                    .push(SubcarrierWeighting.score(&profile, &window, &cfg.detector)?);
+                slot.3.push(
+                    SubcarrierAndPathWeighting.score(&profile, &window, &cfg.detector)?,
+                );
+                let _ = episode;
+            }
+        }
+    }
+
+    let rows: Vec<(f64, f64, f64, f64)> = per_distance
+        .iter()
+        .map(|(d, b, s, c)| {
+            (
+                *d,
+                detection_rate(b, thr_b),
+                detection_rate(s, thr_s),
+                detection_rate(c, thr_c),
+            )
+        })
+        .collect();
+    let range = |idx: usize| -> f64 {
+        rows.iter()
+            .filter(|r| match idx {
+                0 => r.1 >= 0.9,
+                1 => r.2 >= 0.9,
+                _ => r.3 >= 0.9,
+            })
+            .map(|r| r.0)
+            .fold(0.0, f64::max)
+    };
+    Ok(Fig9Result {
+        range_at_90: (range(0), range(1), range(2)),
+        rows,
+    })
+}
+
+/// Renders the report.
+pub fn report(r: &Fig9Result) -> String {
+    let mut out = String::from("Fig. 9 — detection rate vs distance from the receiver\n");
+    let rows: Vec<Vec<String>> = r
+        .rows
+        .iter()
+        .map(|(d, b, s, c)| {
+            vec![
+                format!("{d:.0} m"),
+                crate::report::pct(*b),
+                crate::report::pct(*s),
+                crate::report::pct(*c),
+            ]
+        })
+        .collect();
+    out.push_str(&crate::report::table(
+        &["distance", "baseline", "subcarrier", "sub+path"],
+        &rows,
+    ));
+    out.push_str(&format!(
+        "range at ≥90% detection: baseline {:.0} m, subcarrier {:.0} m, sub+path {:.0} m\n",
+        r.range_at_90.0, r.range_at_90.1, r.range_at_90.2
+    ));
+    out.push_str(
+        "paper: baseline <60% at 5 m; weighted schemes >90% at 5 m (≈1× range gain)\n",
+    );
+    out
+}

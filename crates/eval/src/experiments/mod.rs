@@ -1,0 +1,21 @@
+//! Experiment runners, one module per paper exhibit.
+//!
+//! Each module exposes a `run*` function returning a typed result and a
+//! `report*` function rendering the paper-style rows/series. The `repro`
+//! binary dispatches on experiment ids.
+
+pub mod ext_ablate;
+pub mod ext_array;
+pub mod ext_hmm;
+pub mod ext_sweep;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod sweeps;

@@ -1,0 +1,14 @@
+//! # mpdf-eval — evaluation harness
+//!
+//! Scenarios, workloads, metrics and experiment runners reproducing every
+//! data figure of the paper's evaluation (§V). The `repro` binary runs
+//! any experiment by id.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod metrics;
+pub mod report;
+pub mod scenario;
+pub mod workload;

@@ -1,0 +1,388 @@
+//! Campaign workloads: generate labeled CSI windows for the evaluation.
+//!
+//! Mirrors the paper's methodology (§V-A): per link case, capture a
+//! no-human calibration session, then windows with a (swaying) person at
+//! each grid position and matched empty windows — optionally with
+//! background dynamics (people moving far from the link, as the paper
+//! allowed during its campaign).
+
+use serde::{Deserialize, Serialize};
+
+use mpdf_core::profile::{CalibrationProfile, DetectorConfig};
+use mpdf_core::scheme::DetectionScheme;
+use mpdf_geom::vec2::{Point, Vec2};
+use mpdf_propagation::channel::ChannelModel;
+use mpdf_propagation::human::HumanBody;
+use mpdf_propagation::tracer::TraceError;
+use mpdf_propagation::trajectory::StaticSway;
+use mpdf_wifi::csi::CsiPacket;
+use mpdf_wifi::receiver::{Actor, CsiReceiver, ReceiverConfig};
+use mpdf_wifi::ImpairmentModel;
+
+use crate::metrics::LabeledScore;
+use crate::scenario::LinkCase;
+
+/// Ground-truth annotation of a window containing a human.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HumanInfo {
+    /// Person position.
+    pub position: Point,
+    /// Distance from the receiver in metres.
+    pub distance_to_rx: f64,
+    /// Angle from the receiver's broadside (which faces the TX), degrees.
+    pub angle_deg: f64,
+}
+
+/// One labeled monitoring window.
+#[derive(Debug, Clone)]
+pub struct WindowRecord {
+    /// Captured packets (window length).
+    pub packets: Vec<CsiPacket>,
+    /// `Some` when a person was inside the monitored area.
+    pub human: Option<HumanInfo>,
+}
+
+/// Captured data for one link case.
+#[derive(Debug, Clone)]
+pub struct CaseData {
+    /// Case id (1–5).
+    pub case_id: usize,
+    /// Profile built from the calibration capture.
+    pub profile: CalibrationProfile,
+    /// Labeled monitoring windows.
+    pub windows: Vec<WindowRecord>,
+}
+
+/// Campaign configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Detection pipeline configuration.
+    pub detector: DetectorConfig,
+    /// Calibration capture length in packets.
+    pub calibration_packets: usize,
+    /// Windows captured per human grid position.
+    pub episodes_per_position: usize,
+    /// Empty windows captured per case.
+    pub negative_windows: usize,
+    /// Per-subcarrier SNR (dB).
+    pub snr_db: f64,
+    /// Probability a packet is hit by narrowband interference.
+    pub interference_prob: f64,
+    /// Interference power relative to the signal (dB). Kept below the
+    /// decode threshold: stronger bursts would fail the CRC and produce
+    /// no CSI at all.
+    pub interference_power_db: f64,
+    /// Fraction of monitoring windows with background dynamics.
+    pub background_rate: f64,
+    /// Sway amplitude of the nominally static person (m).
+    pub sway_amplitude: f64,
+    /// Minimum distance of background walkers from the link (m).
+    pub background_distance: f64,
+    /// Session-to-session clutter drift relative amplitude (see
+    /// `ReceiverConfig::clutter_drift_rel`).
+    pub clutter_drift_rel: f64,
+    /// Peak session gain drift in dB (see
+    /// `ReceiverConfig::session_gain_drift_db`).
+    pub session_gain_drift_db: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            detector: DetectorConfig::default(),
+            calibration_packets: 500,
+            episodes_per_position: 3,
+            negative_windows: 27,
+            snr_db: 25.0,
+            interference_prob: 0.35,
+            interference_power_db: -4.0,
+            background_rate: 0.15,
+            sway_amplitude: 0.03,
+            background_distance: 3.0,
+            clutter_drift_rel: 0.025,
+            session_gain_drift_db: 0.3,
+            seed: 0xC51,
+        }
+    }
+}
+
+/// Builds the receiver for a case with the campaign's impairments.
+///
+/// # Errors
+/// Propagates [`TraceError`] for invalid link geometry.
+pub fn case_receiver(
+    case: &LinkCase,
+    cfg: &CampaignConfig,
+    seed: u64,
+) -> Result<CsiReceiver, TraceError> {
+    let channel = ChannelModel::new(case.environment.clone(), case.tx, case.rx)?;
+    let mut impairments = ImpairmentModel::commodity_nic().with_snr_db(cfg.snr_db);
+    impairments.interference_prob = cfg.interference_prob;
+    impairments.interference_power_db = cfg.interference_power_db;
+    // Orient the array broadside toward the transmitter (axis ⟂ link), as
+    // the paper's receiver is deployed; `annotate`'s angle convention then
+    // matches the array's incidence angles.
+    let axis = (case.tx - case.rx)
+        .normalized()
+        .unwrap_or(Vec2::new(1.0, 0.0))
+        .perp();
+    let band = cfg.detector.band.clone();
+    let array = mpdf_wifi::UniformLinearArray::new(3, band.center_wavelength() / 2.0, axis);
+    let rx_cfg = ReceiverConfig {
+        band,
+        array,
+        impairments,
+        clutter_drift_rel: cfg.clutter_drift_rel,
+        session_gain_drift_db: cfg.session_gain_drift_db,
+        ..ReceiverConfig::default()
+    };
+    CsiReceiver::with_config(channel, rx_cfg, seed)
+}
+
+/// Annotates a human position relative to the case's receiver.
+pub fn annotate(case: &LinkCase, position: Point) -> HumanInfo {
+    let broadside = (case.tx - case.rx)
+        .normalized()
+        .unwrap_or(Vec2::new(1.0, 0.0));
+    let to_human = position - case.rx;
+    let angle_deg = broadside
+        .cross(to_human)
+        .atan2(broadside.dot(to_human))
+        .to_degrees();
+    HumanInfo {
+        position,
+        distance_to_rx: case.rx.distance(position),
+        angle_deg,
+    }
+}
+
+/// Deterministic pseudo-random stream for workload-level choices
+/// (background on/off, background position), independent of the
+/// receiver's noise RNG.
+fn mix(seed: u64, a: u64, b: u64) -> u64 {
+    let mut x = seed
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(a.wrapping_mul(0xBF58476D1CE4E5B9))
+        .wrapping_add(b.wrapping_mul(0x94D049BB133111EB));
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58476D1CE4E5B9);
+    x ^= x >> 27;
+    x
+}
+
+fn unit(seed: u64, a: u64, b: u64) -> f64 {
+    (mix(seed, a, b) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Captures one monitoring window with an optional monitored person and
+/// campaign-level background dynamics.
+#[allow(clippy::too_many_arguments)]
+fn capture_window(
+    receiver: &mut CsiReceiver,
+    case: &LinkCase,
+    cfg: &CampaignConfig,
+    monitored: Option<Point>,
+    window_idx: u64,
+    label_salt: u64,
+) -> Result<Vec<CsiPacket>, TraceError> {
+    // Each monitoring window belongs to a different "session" than the
+    // calibration capture: the clutter has drifted.
+    receiver.resample_drift();
+    let mut sways: Vec<StaticSway> = Vec::new();
+    if let Some(pos) = monitored {
+        sways.push(StaticSway::new(pos, cfg.sway_amplitude));
+    }
+    // Background walker, far from the link.
+    if unit(cfg.seed, window_idx, label_salt) < cfg.background_rate {
+        let candidates = case.background_positions(cfg.background_distance);
+        if !candidates.is_empty() {
+            let pick = (mix(cfg.seed, window_idx, label_salt ^ 0xB6) as usize) % candidates.len();
+            // Background people move more than a standing subject sways.
+            sways.push(StaticSway::new(candidates[pick], 0.25));
+        }
+    }
+    let actors: Vec<Actor<'_>> = sways
+        .iter()
+        .map(|s| Actor {
+            body: HumanBody::new(s.anchor),
+            trajectory: s,
+        })
+        .collect();
+    receiver.capture_actors(&actors, cfg.detector.window)
+}
+
+/// Runs the full campaign over the given cases: calibration plus labeled
+/// positive/negative windows per case.
+///
+/// # Errors
+/// Propagates capture and calibration errors.
+pub fn run_campaign(
+    cases: &[LinkCase],
+    cfg: &CampaignConfig,
+) -> Result<Vec<CaseData>, mpdf_core::error::DetectError> {
+    let mut out = Vec::with_capacity(cases.len());
+    for case in cases {
+        let mut receiver = case_receiver(case, cfg, cfg.seed ^ (case.id as u64) << 8)
+            .expect("scenario links are valid by construction");
+        let calibration = receiver
+            .capture_static(None, cfg.calibration_packets)
+            .expect("static capture cannot fail on a valid link");
+        let profile = CalibrationProfile::build(&calibration, &cfg.detector)?;
+
+        let mut windows = Vec::new();
+        let mut widx = 0u64;
+        // Positives: episodes at each grid position.
+        for &pos in &case.grid {
+            for _ in 0..cfg.episodes_per_position {
+                let packets = capture_window(&mut receiver, case, cfg, Some(pos), widx, 1)
+                    .expect("capture cannot fail on a valid link");
+                windows.push(WindowRecord {
+                    packets,
+                    human: Some(annotate(case, pos)),
+                });
+                widx += 1;
+            }
+        }
+        // Negatives.
+        for _ in 0..cfg.negative_windows {
+            let packets = capture_window(&mut receiver, case, cfg, None, widx, 2)
+                .expect("capture cannot fail on a valid link");
+            windows.push(WindowRecord {
+                packets,
+                human: None,
+            });
+            widx += 1;
+        }
+        out.push(CaseData {
+            case_id: case.id,
+            profile,
+            windows,
+        });
+    }
+    Ok(out)
+}
+
+/// A scored window with full annotation, for per-case/distance/angle
+/// breakdowns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredWindow {
+    /// Case the window came from.
+    pub case_id: usize,
+    /// Scheme score.
+    pub score: f64,
+    /// Human annotation, `None` for empty windows.
+    pub human: Option<HumanInfo>,
+}
+
+impl ScoredWindow {
+    /// Converts to the metric layer's labeled form.
+    pub fn labeled(&self) -> LabeledScore {
+        LabeledScore {
+            score: self.score,
+            positive: self.human.is_some(),
+        }
+    }
+}
+
+/// Scores every window of a campaign with one scheme.
+///
+/// # Errors
+/// Propagates scheme errors.
+pub fn score_campaign<S: DetectionScheme>(
+    data: &[CaseData],
+    scheme: &S,
+    detector: &DetectorConfig,
+) -> Result<Vec<ScoredWindow>, mpdf_core::error::DetectError> {
+    let mut out = Vec::new();
+    for case in data {
+        for w in &case.windows {
+            let score = scheme.score(&case.profile, &w.packets, detector)?;
+            out.push(ScoredWindow {
+                case_id: case.case_id,
+                score,
+                human: w.human,
+            });
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::five_cases;
+    use mpdf_core::scheme::Baseline;
+
+    fn tiny_config() -> CampaignConfig {
+        CampaignConfig {
+            calibration_packets: 120,
+            episodes_per_position: 1,
+            negative_windows: 4,
+            detector: DetectorConfig {
+                window: 10,
+                ..DetectorConfig::default()
+            },
+            ..CampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn annotate_geometry() {
+        let case = &five_cases()[0]; // tx (2,3), rx (6,3): broadside −x
+        let on_axis = annotate(case, Point::new(5.0, 3.0));
+        assert!((on_axis.distance_to_rx - 1.0).abs() < 1e-12);
+        assert!(on_axis.angle_deg.abs() < 1e-9);
+        let side = annotate(case, Point::new(6.0, 4.0));
+        assert!((side.distance_to_rx - 1.0).abs() < 1e-12);
+        assert!((side.angle_deg.abs() - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn campaign_produces_labeled_windows() {
+        let cases = &five_cases()[..1];
+        let cfg = tiny_config();
+        let data = run_campaign(cases, &cfg).unwrap();
+        assert_eq!(data.len(), 1);
+        let case = &data[0];
+        assert_eq!(case.windows.len(), 9 + 4);
+        let positives = case.windows.iter().filter(|w| w.human.is_some()).count();
+        assert_eq!(positives, 9);
+        for w in &case.windows {
+            assert_eq!(w.packets.len(), 10);
+        }
+    }
+
+    #[test]
+    fn campaign_is_reproducible() {
+        let cases = &five_cases()[..1];
+        let cfg = tiny_config();
+        let d1 = run_campaign(cases, &cfg).unwrap();
+        let d2 = run_campaign(cases, &cfg).unwrap();
+        let s1 = score_campaign(&d1, &Baseline, &cfg.detector).unwrap();
+        let s2 = score_campaign(&d2, &Baseline, &cfg.detector).unwrap();
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn scoring_separates_classes_on_average() {
+        let cases = &five_cases()[..1];
+        let cfg = tiny_config();
+        let data = run_campaign(cases, &cfg).unwrap();
+        let scored = score_campaign(&data, &Baseline, &cfg.detector).unwrap();
+        let pos: Vec<f64> = scored
+            .iter()
+            .filter(|s| s.human.is_some())
+            .map(|s| s.score)
+            .collect();
+        let neg: Vec<f64> = scored
+            .iter()
+            .filter(|s| s.human.is_none())
+            .map(|s| s.score)
+            .collect();
+        let mp = pos.iter().sum::<f64>() / pos.len() as f64;
+        let mn = neg.iter().sum::<f64>() / neg.len() as f64;
+        assert!(mp > mn, "positives {mp} must outscore negatives {mn}");
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the geometry substrate.
+
+use mpdf_geom::line::Line;
+use mpdf_geom::segment::{Intersection, Segment};
+use mpdf_geom::shapes::{Circle, Rect};
+use mpdf_geom::vec2::Vec2;
+use proptest::prelude::*;
+
+fn coord() -> impl Strategy<Value = f64> {
+    -100.0f64..100.0
+}
+
+fn point() -> impl Strategy<Value = Vec2> {
+    (coord(), coord()).prop_map(|(x, y)| Vec2::new(x, y))
+}
+
+proptest! {
+    #[test]
+    fn mirror_is_involution(o in point(), d in point(), q in point()) {
+        prop_assume!(d.norm() > 1e-6);
+        let line = Line::new(o, d).unwrap();
+        let back = line.mirror(line.mirror(q));
+        prop_assert!((back - q).norm() < 1e-8 * q.norm().max(1.0));
+    }
+
+    #[test]
+    fn mirror_preserves_distances_to_line_points(o in point(), d in point(), q in point(), t in -10.0f64..10.0) {
+        prop_assume!(d.norm() > 1e-6);
+        let line = Line::new(o, d).unwrap();
+        let on_line = o + line.dir() * t;
+        let m = line.mirror(q);
+        prop_assert!((on_line.distance(q) - on_line.distance(m)).abs() < 1e-7 * q.norm().max(1.0));
+    }
+
+    #[test]
+    fn segment_intersection_is_symmetric(a in point(), b in point(), c in point(), d in point()) {
+        let s1 = Segment::new(a, b);
+        let s2 = Segment::new(c, d);
+        prop_assert_eq!(s1.intersects(&s2), s2.intersects(&s1));
+    }
+
+    #[test]
+    fn intersection_point_lies_on_both_segments(a in point(), b in point(), c in point(), d in point()) {
+        let s1 = Segment::new(a, b);
+        let s2 = Segment::new(c, d);
+        if let Intersection::Point { at, .. } = s1.intersect(&s2) {
+            let scale = (a.norm() + b.norm() + c.norm() + d.norm()).max(1.0);
+            prop_assert!(s1.distance_to_point(at) < 1e-6 * scale);
+            prop_assert!(s2.distance_to_point(at) < 1e-6 * scale);
+        }
+    }
+
+    #[test]
+    fn closest_point_is_global_minimum(a in point(), b in point(), q in point(), t in 0.0f64..1.0) {
+        let s = Segment::new(a, b);
+        let best = s.distance_to_point(q);
+        let candidate = q.distance(s.at(t));
+        prop_assert!(best <= candidate + 1e-9);
+    }
+
+    #[test]
+    fn rotation_preserves_norm(v in point(), angle in -7.0f64..7.0) {
+        prop_assert!((v.rotated(angle).norm() - v.norm()).abs() < 1e-9 * v.norm().max(1.0));
+    }
+
+    #[test]
+    fn rect_contains_its_center_and_wall_midpoints(a in point(), b in point()) {
+        prop_assume!((a.x - b.x).abs() > 1e-6 && (a.y - b.y).abs() > 1e-6);
+        let r = Rect::new(a, b);
+        prop_assert!(r.contains(r.center()));
+        for w in r.walls() {
+            prop_assert!(r.contains(w.midpoint()));
+        }
+    }
+
+    #[test]
+    fn segment_through_rect_center_intersects(a in point(), b in point(), dir in point()) {
+        prop_assume!((a.x - b.x).abs() > 1e-3 && (a.y - b.y).abs() > 1e-3);
+        prop_assume!(dir.norm() > 1e-6);
+        let r = Rect::new(a, b);
+        let c = r.center();
+        let d = dir.normalized().unwrap() * 1000.0;
+        prop_assert!(r.intersects_segment(&Segment::new(c - d, c + d)));
+    }
+
+    #[test]
+    fn circle_penetration_bounded(center in point(), radius in 0.01f64..5.0, a in point(), b in point()) {
+        let c = Circle::new(center, radius);
+        let s = Segment::new(a, b);
+        let p = c.penetration(&s);
+        prop_assert!((0.0..=1.0).contains(&p));
+        // blocks ⇔ penetration > 0 or exact graze
+        if p > 0.0 {
+            prop_assert!(c.blocks_segment(&s));
+        }
+        if !c.blocks_segment(&s) {
+            prop_assert_eq!(p, 0.0);
+            prop_assert!(c.distance_to_segment(&s) > 0.0);
+        }
+    }
+
+    #[test]
+    fn lerp_stays_on_segment(a in point(), b in point(), t in 0.0f64..1.0) {
+        let s = Segment::new(a, b);
+        let q = a.lerp(b, t);
+        prop_assert!(s.distance_to_point(q) < 1e-7 * (a.norm() + b.norm()).max(1.0));
+    }
+}

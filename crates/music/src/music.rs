@@ -1,0 +1,451 @@
+//! The MUSIC angle-of-arrival estimator (Schmidt \[23\]; paper §IV-B1).
+//!
+//! Given the array covariance, MUSIC splits eigenvectors into signal and
+//! noise subspaces and scans a steering-vector grid:
+//!
+//! `P(θ) = 1 / (a(θ)ᴴ E_N E_Nᴴ a(θ))`
+//!
+//! Peaks of the pseudospectrum mark arrival angles. With three antennas
+//! the paper can resolve at most two paths — enough to separate the LOS
+//! from the dominant wall reflection (Fig. 5b).
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use mpdf_rfmath::complex::Complex64;
+use mpdf_rfmath::eig::{hermitian_eig, EigError};
+use mpdf_rfmath::matrix::CMatrix;
+
+use crate::covariance::CovarianceError;
+
+/// Error returned by the MUSIC estimator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MusicError {
+    /// The requested signal dimension leaves no noise subspace.
+    SignalDimTooLarge {
+        /// Requested number of sources.
+        sources: usize,
+        /// Array order.
+        elements: usize,
+    },
+    /// Eigendecomposition failed.
+    Eig(EigError),
+    /// Covariance estimation failed.
+    Covariance(CovarianceError),
+}
+
+impl fmt::Display for MusicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MusicError::SignalDimTooLarge { sources, elements } => write!(
+                f,
+                "cannot estimate {sources} sources with {elements} antennas"
+            ),
+            MusicError::Eig(e) => write!(f, "eigendecomposition failed: {e}"),
+            MusicError::Covariance(e) => write!(f, "covariance failed: {e}"),
+        }
+    }
+}
+
+impl Error for MusicError {}
+
+impl From<EigError> for MusicError {
+    fn from(e: EigError) -> Self {
+        MusicError::Eig(e)
+    }
+}
+
+impl From<CovarianceError> for MusicError {
+    fn from(e: CovarianceError) -> Self {
+        MusicError::Covariance(e)
+    }
+}
+
+/// Steering model of a uniform linear array, parameterized by spacing in
+/// wavelengths (0.5 for the paper's λ/2 array).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UlaSteering {
+    elements: usize,
+    spacing_wavelengths: f64,
+}
+
+impl UlaSteering {
+    /// Creates a steering model.
+    ///
+    /// # Panics
+    /// Panics if `elements < 2` or spacing is non-positive.
+    pub fn new(elements: usize, spacing_wavelengths: f64) -> Self {
+        assert!(elements >= 2, "need at least two elements");
+        assert!(spacing_wavelengths > 0.0, "spacing must be positive");
+        UlaSteering {
+            elements,
+            spacing_wavelengths,
+        }
+    }
+
+    /// The paper's array: 3 elements at λ/2.
+    pub fn three_half_wavelength() -> Self {
+        UlaSteering::new(3, 0.5)
+    }
+
+    /// Number of elements.
+    pub fn elements(&self) -> usize {
+        self.elements
+    }
+
+    /// Steering vector at incidence angle `theta` radians (from broadside),
+    /// centred like the physical array in `mpdf-wifi`.
+    pub fn vector(&self, theta: f64) -> Vec<Complex64> {
+        let mid = (self.elements as f64 - 1.0) / 2.0;
+        (0..self.elements)
+            .map(|m| {
+                let phase = -std::f64::consts::TAU
+                    * self.spacing_wavelengths
+                    * (m as f64 - mid)
+                    * theta.sin();
+                Complex64::cis(phase)
+            })
+            .collect()
+    }
+}
+
+/// An angular scan grid in degrees.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AngleGrid {
+    /// First angle (degrees).
+    pub start_deg: f64,
+    /// Last angle (degrees), inclusive.
+    pub end_deg: f64,
+    /// Step (degrees).
+    pub step_deg: f64,
+}
+
+impl AngleGrid {
+    /// The paper's scan: −90° to 90°.
+    pub fn full_front(step_deg: f64) -> Self {
+        AngleGrid {
+            start_deg: -90.0,
+            end_deg: 90.0,
+            step_deg,
+        }
+    }
+
+    /// All angles on the grid.
+    ///
+    /// # Panics
+    /// Panics if the step is non-positive or the range is inverted.
+    pub fn angles_deg(&self) -> Vec<f64> {
+        assert!(self.step_deg > 0.0, "grid step must be positive");
+        assert!(self.end_deg >= self.start_deg, "grid range inverted");
+        let n = ((self.end_deg - self.start_deg) / self.step_deg).round() as usize + 1;
+        (0..n)
+            .map(|i| self.start_deg + i as f64 * self.step_deg)
+            .collect()
+    }
+}
+
+impl Default for AngleGrid {
+    fn default() -> Self {
+        AngleGrid::full_front(1.0)
+    }
+}
+
+/// A MUSIC pseudospectrum: paired angles (degrees) and values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pseudospectrum {
+    angles_deg: Vec<f64>,
+    values: Vec<f64>,
+}
+
+impl Pseudospectrum {
+    /// Creates a pseudospectrum from parallel vectors.
+    ///
+    /// # Panics
+    /// Panics on length mismatch or empty input.
+    pub fn new(angles_deg: Vec<f64>, values: Vec<f64>) -> Self {
+        assert_eq!(angles_deg.len(), values.len(), "length mismatch");
+        assert!(!angles_deg.is_empty(), "empty pseudospectrum");
+        Pseudospectrum { angles_deg, values }
+    }
+
+    /// Scan angles in degrees.
+    pub fn angles_deg(&self) -> &[f64] {
+        &self.angles_deg
+    }
+
+    /// Pseudospectrum values (linear).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Value at the grid point closest to `angle_deg`.
+    pub fn value_at(&self, angle_deg: f64) -> f64 {
+        let idx = self
+            .angles_deg
+            .iter()
+            .enumerate()
+            .min_by(|a, b| {
+                (a.1 - angle_deg)
+                    .abs()
+                    .partial_cmp(&(b.1 - angle_deg).abs())
+                    .unwrap()
+            })
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        self.values[idx]
+    }
+
+    /// Normalizes the peak value to 1 (for plotting/weighting).
+    pub fn normalized(&self) -> Pseudospectrum {
+        let peak = self
+            .values
+            .iter()
+            .cloned()
+            .fold(f64::MIN_POSITIVE, f64::max);
+        Pseudospectrum {
+            angles_deg: self.angles_deg.clone(),
+            values: self.values.iter().map(|v| v / peak).collect(),
+        }
+    }
+
+    /// Local maxima sorted by descending value, up to `max_peaks`, keeping
+    /// only peaks at least `min_rel` of the global maximum.
+    pub fn peaks(&self, max_peaks: usize, min_rel: f64) -> Vec<(f64, f64)> {
+        let n = self.values.len();
+        if n == 0 || max_peaks == 0 {
+            return Vec::new();
+        }
+        let global = self.values.iter().cloned().fold(f64::MIN, f64::max);
+        let mut found: Vec<(f64, f64)> = Vec::new();
+        for i in 0..n {
+            let left = if i == 0 { f64::MIN } else { self.values[i - 1] };
+            let right = if i == n - 1 { f64::MIN } else { self.values[i + 1] };
+            let v = self.values[i];
+            if v >= left && v > right && v >= min_rel * global {
+                found.push((self.angles_deg[i], v));
+            }
+        }
+        found.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        found.truncate(max_peaks);
+        found
+    }
+}
+
+/// Computes the MUSIC pseudospectrum from a covariance matrix.
+///
+/// `num_sources` is the assumed signal-subspace dimension (paths to
+/// resolve); it must be smaller than the array order.
+///
+/// # Errors
+/// [`MusicError::SignalDimTooLarge`] or an eigendecomposition failure.
+pub fn pseudospectrum(
+    covariance: &CMatrix,
+    steering: &UlaSteering,
+    num_sources: usize,
+    grid: &AngleGrid,
+) -> Result<Pseudospectrum, MusicError> {
+    let m = covariance.rows();
+    if num_sources >= m {
+        return Err(MusicError::SignalDimTooLarge {
+            sources: num_sources,
+            elements: m,
+        });
+    }
+    let eig = hermitian_eig(covariance, 1e-10)?;
+    let en = eig.noise_subspace(num_sources);
+    // Projector onto the noise subspace: E_N E_Nᴴ.
+    let projector = &en * &en.hermitian();
+    let angles = grid.angles_deg();
+    let values = angles
+        .iter()
+        .map(|&deg| {
+            let a = steering.vector(deg.to_radians());
+            let denom = projector.quadratic_form(&a).re.max(1e-12);
+            1.0 / denom
+        })
+        .collect();
+    Ok(Pseudospectrum::new(angles, values))
+}
+
+/// The Bartlett (conventional beamformer) angular power spectrum:
+/// `B(θ) = a(θ)ᴴ R a(θ)`.
+///
+/// Unlike the MUSIC pseudospectrum — which is scale-free and exists only
+/// to locate angles — the Bartlett spectrum carries received *power* per
+/// direction, so amplitude changes (e.g. a person shadowing the LOS)
+/// remain visible. The detection pipeline compares Bartlett profiles;
+/// MUSIC supplies the angles and the path weights.
+///
+/// # Errors
+/// Returns [`MusicError::SignalDimTooLarge`] never; present for parity —
+/// the only failure is a non-square covariance, reported via
+/// [`MusicError::Covariance`].
+pub fn bartlett_spectrum(
+    covariance: &CMatrix,
+    steering: &UlaSteering,
+    grid: &AngleGrid,
+) -> Result<Pseudospectrum, MusicError> {
+    if !covariance.is_square() || covariance.rows() != steering.elements() {
+        return Err(MusicError::Covariance(CovarianceError::RaggedSnapshots));
+    }
+    let angles = grid.angles_deg();
+    let values = angles
+        .iter()
+        .map(|&deg| {
+            let a = steering.vector(deg.to_radians());
+            covariance.quadratic_form(&a).re.max(0.0)
+        })
+        .collect();
+    Ok(Pseudospectrum::new(angles, values))
+}
+
+/// One-call AoA estimation: covariance (with forward–backward averaging)
+/// → pseudospectrum → peak angles in degrees, strongest first.
+///
+/// # Errors
+/// Propagates covariance and MUSIC errors.
+pub fn estimate_aoa(
+    snapshots: &[Vec<Complex64>],
+    steering: &UlaSteering,
+    num_sources: usize,
+    grid: &AngleGrid,
+) -> Result<Vec<f64>, MusicError> {
+    let r = crate::covariance::sample_covariance(snapshots)?;
+    let r = crate::covariance::forward_backward(&r);
+    let spec = pseudospectrum(&r, steering, num_sources, grid)?;
+    Ok(spec
+        .peaks(num_sources, 0.01)
+        .into_iter()
+        .map(|(a, _)| a)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds snapshots of plane waves at the given angles (radians),
+    /// amplitudes, with small deterministic noise.
+    fn plane_wave_snapshots(
+        steering: &UlaSteering,
+        sources: &[(f64, f64)],
+        n: usize,
+    ) -> Vec<Vec<Complex64>> {
+        (0..n)
+            .map(|i| {
+                let mut x = vec![Complex64::ZERO; steering.elements()];
+                for (s_idx, &(theta, amp)) in sources.iter().enumerate() {
+                    // Distinct pseudo-random symbols per source.
+                    let sym = Complex64::cis(1.7 * i as f64 + 2.9 * s_idx as f64) * amp;
+                    for (m, a) in steering.vector(theta).into_iter().enumerate() {
+                        x[m] += sym * a;
+                    }
+                }
+                // Tiny noise floor keeps the covariance full rank.
+                for (m, z) in x.iter_mut().enumerate() {
+                    *z += Complex64::cis(0.13 * (i * 7 + m) as f64) * 1e-3;
+                }
+                x
+            })
+            .collect()
+    }
+
+    #[test]
+    fn grid_generation() {
+        let grid = AngleGrid::full_front(1.0);
+        let angles = grid.angles_deg();
+        assert_eq!(angles.len(), 181);
+        assert_eq!(angles[0], -90.0);
+        assert_eq!(angles[180], 90.0);
+    }
+
+    #[test]
+    fn single_source_is_located() {
+        let steering = UlaSteering::three_half_wavelength();
+        let truth = 25.0f64;
+        let snaps = plane_wave_snapshots(&steering, &[(truth.to_radians(), 1.0)], 64);
+        let angles = estimate_aoa(&snaps, &steering, 1, &AngleGrid::full_front(0.5)).unwrap();
+        assert!(!angles.is_empty());
+        assert!(
+            (angles[0] - truth).abs() < 2.0,
+            "estimated {} vs truth {truth}",
+            angles[0]
+        );
+    }
+
+    #[test]
+    fn two_incoherent_sources_resolved() {
+        let steering = UlaSteering::three_half_wavelength();
+        let snaps = plane_wave_snapshots(
+            &steering,
+            &[(0.0f64, 1.0), (50f64.to_radians(), 0.8)],
+            128,
+        );
+        let angles = estimate_aoa(&snaps, &steering, 2, &AngleGrid::full_front(0.5)).unwrap();
+        assert_eq!(angles.len(), 2);
+        let mut sorted = angles.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((sorted[0] - 0.0).abs() < 4.0, "{sorted:?}");
+        assert!((sorted[1] - 50.0).abs() < 4.0, "{sorted:?}");
+    }
+
+    #[test]
+    fn pseudospectrum_peaks_at_source() {
+        let steering = UlaSteering::three_half_wavelength();
+        let truth = -40.0f64;
+        let snaps = plane_wave_snapshots(&steering, &[(truth.to_radians(), 1.0)], 64);
+        let r = crate::covariance::sample_covariance(&snaps).unwrap();
+        let spec = pseudospectrum(&r, &steering, 1, &AngleGrid::full_front(1.0)).unwrap();
+        let at_truth = spec.value_at(truth);
+        let far = spec.value_at(truth + 60.0);
+        assert!(at_truth > 10.0 * far, "peak {at_truth} vs off-peak {far}");
+        // Normalization maps the max to 1.
+        let norm = spec.normalized();
+        let max = norm.values().iter().cloned().fold(f64::MIN, f64::max);
+        assert!((max - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn signal_dim_validation() {
+        let r = CMatrix::identity(3);
+        let steering = UlaSteering::three_half_wavelength();
+        let err = pseudospectrum(&r, &steering, 3, &AngleGrid::default());
+        assert!(matches!(err, Err(MusicError::SignalDimTooLarge { .. })));
+    }
+
+    #[test]
+    fn white_noise_has_flat_spectrum() {
+        // Identity covariance: no directionality — peak/median ratio small.
+        let r = CMatrix::identity(3);
+        let steering = UlaSteering::three_half_wavelength();
+        let spec = pseudospectrum(&r, &steering, 1, &AngleGrid::full_front(1.0)).unwrap();
+        let vals = spec.values();
+        let max = vals.iter().cloned().fold(f64::MIN, f64::max);
+        let min = vals.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max / min < 10.0, "white noise should not form sharp peaks");
+    }
+
+    #[test]
+    fn peaks_respect_relative_threshold() {
+        let spec = Pseudospectrum::new(
+            vec![-10.0, 0.0, 10.0, 20.0, 30.0],
+            vec![0.1, 5.0, 0.1, 0.2, 0.1],
+        );
+        let peaks = spec.peaks(5, 0.5);
+        assert_eq!(peaks.len(), 1);
+        assert_eq!(peaks[0].0, 0.0);
+        let all = spec.peaks(5, 0.0);
+        assert_eq!(all.len(), 2); // 0.0 and 20.0
+    }
+
+    #[test]
+    fn error_display() {
+        let e = MusicError::SignalDimTooLarge {
+            sources: 3,
+            elements: 3,
+        };
+        assert!(e.to_string().contains("3 sources"));
+    }
+}

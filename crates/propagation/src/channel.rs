@@ -1,0 +1,387 @@
+//! The multipath channel: paths → channel frequency response.
+//!
+//! [`ChannelModel`] binds an environment to a TX–RX link; a
+//! [`ChannelSnapshot`] freezes the traced path set for one instant (one
+//! human position) and evaluates the CFR the paper's Eq. 1/2 describe:
+//!
+//! `H(f) = Σ_i a_i·e^{-jθ_i(f)}`
+//!
+//! Snapshots also expose *ground truth* the physical testbed could never
+//! report — the true per-frequency LOS power fraction — which the test
+//! suite uses to validate the paper's measurable multipath-factor proxy.
+
+use serde::{Deserialize, Serialize};
+
+use mpdf_geom::vec2::{Point, Vec2};
+use mpdf_rfmath::complex::Complex64;
+
+use crate::environment::Environment;
+use crate::human::HumanBody;
+use crate::path::{PathKind, PropagationPath};
+use crate::pathloss::{PathLossModel, SPEED_OF_LIGHT};
+use crate::tracer::{trace, TraceConfig, TraceError};
+
+/// A TX–RX link inside an environment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelModel {
+    env: Environment,
+    tx: Point,
+    rx: Point,
+    pathloss: PathLossModel,
+    #[serde(skip, default = "default_trace_config")]
+    trace_cfg: TraceConfig,
+    /// Environment paths, traced once — humans only modulate them.
+    #[serde(skip)]
+    static_paths: Vec<PropagationPath>,
+}
+
+fn default_trace_config() -> TraceConfig {
+    TraceConfig::default()
+}
+
+impl ChannelModel {
+    /// Creates a channel model, validating the link geometry eagerly.
+    ///
+    /// # Errors
+    /// Propagates [`TraceError`] for endpoints outside the room or a
+    /// degenerate link.
+    pub fn new(env: Environment, tx: Point, rx: Point) -> Result<Self, TraceError> {
+        let trace_cfg = TraceConfig::default();
+        let static_paths = trace(&env, tx, rx, &trace_cfg)?;
+        Ok(ChannelModel {
+            env,
+            tx,
+            rx,
+            pathloss: PathLossModel::default(),
+            trace_cfg,
+            static_paths,
+        })
+    }
+
+    /// Replaces the path-loss model (builder-style).
+    pub fn with_pathloss(mut self, pathloss: PathLossModel) -> Self {
+        self.pathloss = pathloss;
+        self
+    }
+
+    /// Replaces the trace configuration (builder-style).
+    ///
+    /// # Errors
+    /// Re-validates the link under the new configuration.
+    pub fn with_trace_config(mut self, cfg: TraceConfig) -> Result<Self, TraceError> {
+        self.static_paths = trace(&self.env, self.tx, self.rx, &cfg)?;
+        self.trace_cfg = cfg;
+        Ok(self)
+    }
+
+    /// Transmitter position.
+    pub fn tx(&self) -> Point {
+        self.tx
+    }
+
+    /// Receiver position.
+    pub fn rx(&self) -> Point {
+        self.rx
+    }
+
+    /// The environment.
+    pub fn environment(&self) -> &Environment {
+        &self.env
+    }
+
+    /// Path-loss model in effect.
+    pub fn pathloss(&self) -> &PathLossModel {
+        &self.pathloss
+    }
+
+    /// TX–RX distance in metres.
+    pub fn link_length(&self) -> f64 {
+        self.tx.distance(self.rx)
+    }
+
+    /// Traces the channel for an optional human presence and freezes the
+    /// result.
+    ///
+    /// When a human is present every environment path is attenuated by the
+    /// body's shadow factor and the single-bounce scatter path is appended
+    /// (paper Eq. 4 and Eq. 7).
+    ///
+    /// # Errors
+    /// Propagates [`TraceError`] (can only occur if the model was built
+    /// with unchecked mutation, but kept for API honesty).
+    pub fn snapshot(&self, human: Option<&HumanBody>) -> Result<ChannelSnapshot, TraceError> {
+        match human {
+            Some(body) => self.snapshot_multi(std::slice::from_ref(body)),
+            None => self.snapshot_multi(&[]),
+        }
+    }
+
+    /// Traces the channel with any number of simultaneously present
+    /// humans (e.g. the monitored person plus background walkers ≥5 m
+    /// away, as in the paper's measurement campaign).
+    ///
+    /// Every environment path is attenuated by the product of all body
+    /// shadow factors; each body contributes its own scatter path, itself
+    /// shadowed by the *other* bodies.
+    ///
+    /// # Errors
+    /// Propagates [`TraceError`].
+    pub fn snapshot_multi(&self, humans: &[HumanBody]) -> Result<ChannelSnapshot, TraceError> {
+        let mut paths = self.static_paths.clone();
+        if !humans.is_empty() {
+            paths = paths
+                .into_iter()
+                .map(|p| {
+                    let beta: f64 = humans.iter().map(|b| b.shadow_factor(&p)).product();
+                    p.attenuated(beta)
+                })
+                .collect();
+            for (i, body) in humans.iter().enumerate() {
+                if let Some(sp) = body.scatter_path(&self.env, self.tx, self.rx) {
+                    let beta: f64 = humans
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, _)| *j != i)
+                        .map(|(_, other)| other.shadow_factor(&sp))
+                        .product();
+                    paths.push(sp.attenuated(beta));
+                }
+            }
+        }
+        Ok(ChannelSnapshot {
+            paths,
+            pathloss: self.pathloss,
+            rx: self.rx,
+        })
+    }
+}
+
+/// A frozen path set with CFR evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelSnapshot {
+    paths: Vec<PropagationPath>,
+    pathloss: PathLossModel,
+    rx: Point,
+}
+
+impl ChannelSnapshot {
+    /// The traced paths, shortest first.
+    pub fn paths(&self) -> &[PropagationPath] {
+        &self.paths
+    }
+
+    /// Complex CFR sample at frequency `f` for an observation point
+    /// displaced `offset` metres from the nominal receiver (far-field
+    /// plane-wave approximation — how each array element sees a shifted
+    /// phase per path).
+    pub fn cfr_at(&self, f: f64, offset: Vec2) -> Complex64 {
+        self.paths
+            .iter()
+            .map(|p| {
+                let g = p.gain(f, &self.pathloss);
+                match p.arrival_direction() {
+                    Some(u) => {
+                        // Extra travel to the displaced element: u·offset.
+                        let extra = u.dot(offset);
+                        g * Complex64::cis(-2.0 * std::f64::consts::PI * f * extra / SPEED_OF_LIGHT)
+                    }
+                    None => g,
+                }
+            })
+            .sum()
+    }
+
+    /// CFR over a frequency grid at the nominal receiver.
+    pub fn cfr(&self, freqs: &[f64]) -> Vec<Complex64> {
+        freqs.iter().map(|&f| self.cfr_at(f, Vec2::ZERO)).collect()
+    }
+
+    /// CFR over a frequency grid at a displaced observation point.
+    pub fn cfr_with_offset(&self, freqs: &[f64], offset: Vec2) -> Vec<Complex64> {
+        freqs.iter().map(|&f| self.cfr_at(f, offset)).collect()
+    }
+
+    /// **Ground truth** LOS power fraction at frequency `f`: the exact
+    /// quantity the paper's multipath factor `μ` (Eq. 3/11) estimates.
+    ///
+    /// Returns `None` when the snapshot has no LOS path or zero total
+    /// power.
+    pub fn true_multipath_factor(&self, f: f64) -> Option<f64> {
+        let los = self
+            .paths
+            .iter()
+            .find(|p| p.kind() == PathKind::LineOfSight)?;
+        let los_power = los.gain(f, &self.pathloss).norm_sqr();
+        let total = self.cfr_at(f, Vec2::ZERO).norm_sqr();
+        if total <= 0.0 {
+            None
+        } else {
+            Some(los_power / total)
+        }
+    }
+
+    /// Total received power at frequency `f` (`|H(f)|²`).
+    pub fn power(&self, f: f64) -> f64 {
+        self.cfr_at(f, Vec2::ZERO).norm_sqr()
+    }
+
+    /// Arrival angles (radians, global frame) and amplitude factors of all
+    /// paths — ground truth for angle-estimation experiments (Fig. 10).
+    pub fn arrival_angles(&self) -> Vec<(f64, f64)> {
+        self.paths
+            .iter()
+            .filter_map(|p| {
+                p.arrival_direction()
+                    .map(|u| (u.angle(), p.amplitude_factor()))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpdf_geom::shapes::Rect;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn classroom() -> Environment {
+        Environment::empty_room(Rect::new(p(0.0, 0.0), p(8.0, 6.0)))
+    }
+
+    /// Paper §III measurement setup: 4 m link in a 6 m × 8 m classroom.
+    fn link() -> ChannelModel {
+        ChannelModel::new(classroom(), p(2.0, 3.0), p(6.0, 3.0)).unwrap()
+    }
+
+    const F: f64 = 2.462e9;
+
+    #[test]
+    fn construction_validates_geometry() {
+        assert!(ChannelModel::new(classroom(), p(-1.0, 0.0), p(6.0, 3.0)).is_err());
+        assert!(ChannelModel::new(classroom(), p(2.0, 3.0), p(2.0, 3.0)).is_err());
+        let m = link();
+        assert!((m.link_length() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn static_snapshot_is_multipath() {
+        let snap = link().snapshot(None).unwrap();
+        assert!(snap.paths().len() > 1, "empty room still has wall bounces");
+        assert_eq!(snap.paths()[0].kind(), PathKind::LineOfSight);
+        let h = snap.cfr_at(F, Vec2::ZERO);
+        assert!(h.norm() > 0.0);
+    }
+
+    #[test]
+    fn true_multipath_factor_in_unit_range_for_los_dominated_link() {
+        let snap = link().snapshot(None).unwrap();
+        let mu = snap.true_multipath_factor(F).unwrap();
+        // LOS is the strongest single path here; superposition can push the
+        // ratio above 1 when paths cancel, but it must be positive & finite.
+        assert!(mu > 0.0 && mu.is_finite());
+    }
+
+    #[test]
+    fn multipath_factor_varies_across_frequency() {
+        // The configurability claim of §III-B3: μ is a function of f.
+        let snap = link().snapshot(None).unwrap();
+        let mus: Vec<f64> = (0..8)
+            .map(|i| {
+                snap.true_multipath_factor(2.452e9 + i as f64 * 2.5e6)
+                    .unwrap()
+            })
+            .collect();
+        let spread = mus.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - mus.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(spread > 1e-3, "μ must vary with frequency, spread={spread}");
+    }
+
+    #[test]
+    fn human_shadowing_changes_cfr() {
+        let model = link();
+        let calm = model.snapshot(None).unwrap();
+        let body = HumanBody::new(p(4.0, 3.0)); // on the LOS
+        let shadowed = model.snapshot(Some(&body)).unwrap();
+        let dp = (shadowed.power(F) - calm.power(F)).abs() / calm.power(F);
+        assert!(dp > 0.05, "blocking the LOS must change power, got {dp}");
+        // Scatter path appended.
+        assert!(shadowed
+            .paths()
+            .iter()
+            .any(|pp| pp.kind() == PathKind::HumanScatter));
+    }
+
+    #[test]
+    fn human_near_link_perturbs_via_reflection_only() {
+        let model = link();
+        let calm = model.snapshot(None).unwrap();
+        let body = HumanBody::new(p(4.0, 3.8)); // beside the link (Fig. 1e)
+        let near = model.snapshot(Some(&body)).unwrap();
+        // LOS untouched...
+        let los_calm = calm.paths()[0].amplitude_factor();
+        let los_near = near.paths()[0].amplitude_factor();
+        assert!((los_calm - los_near).abs() < 1e-12);
+        // ...but the CFR still moves thanks to the scattered path.
+        let delta = (near.cfr_at(F, Vec2::ZERO) - calm.cfr_at(F, Vec2::ZERO)).norm();
+        assert!(delta > 0.0);
+    }
+
+    #[test]
+    fn rss_change_sign_depends_on_superposition() {
+        // The paper's headline §III observation: Δs can be a drop OR a rise.
+        let model = link();
+        let calm = model.snapshot(None).unwrap();
+        let mut signs = std::collections::HashSet::new();
+        for i in 0..40 {
+            let x = 2.2 + 0.09 * i as f64;
+            for dy in [-0.6, -0.3, 0.0, 0.3, 0.6] {
+                let body = HumanBody::new(p(x, 3.0 + dy));
+                let snap = model.snapshot(Some(&body)).unwrap();
+                let ds = 10.0 * (snap.power(F) / calm.power(F)).log10();
+                if ds > 0.05 {
+                    signs.insert("rise");
+                } else if ds < -0.05 {
+                    signs.insert("drop");
+                }
+            }
+        }
+        assert!(
+            signs.contains("rise") && signs.contains("drop"),
+            "need both RSS rises and drops, got {signs:?}"
+        );
+    }
+
+    #[test]
+    fn displaced_observer_sees_phase_shift() {
+        let snap = link().snapshot(None).unwrap();
+        let lambda = PathLossModel::wavelength(F);
+        let h0 = snap.cfr_at(F, Vec2::ZERO);
+        let h1 = snap.cfr_at(F, Vec2::new(0.0, lambda / 2.0));
+        // Same order of magnitude but different phase/value.
+        assert!((h0 - h1).norm() > 1e-3 * h0.norm());
+    }
+
+    #[test]
+    fn cfr_grid_matches_pointwise_calls() {
+        let snap = link().snapshot(None).unwrap();
+        let freqs = [2.452e9, 2.462e9, 2.472e9];
+        let grid = snap.cfr(&freqs);
+        for (i, &f) in freqs.iter().enumerate() {
+            assert_eq!(grid[i], snap.cfr_at(f, Vec2::ZERO));
+        }
+    }
+
+    #[test]
+    fn arrival_angles_include_los_direction() {
+        let snap = link().snapshot(None).unwrap();
+        let angles = snap.arrival_angles();
+        // LOS arrives travelling in +x: angle ≈ 0.
+        assert!(angles
+            .iter()
+            .any(|&(a, _)| a.abs() < 1e-9));
+        assert_eq!(angles.len(), snap.paths().len());
+    }
+}

@@ -1,0 +1,448 @@
+//! Image-method ray tracer.
+//!
+//! Generates the multipath structure the paper's analysis assumes: the
+//! LOS path plus first- and second-order specular wall reflections
+//! (§III-B analyzes one-bounce superposition; second-order bounces supply
+//! the weaker tail that makes indoor links "multipath-dense").
+//!
+//! The image method replaces each reflection with a straight segment to a
+//! mirrored transmitter image, then validates that the segment crosses the
+//! reflecting wall within its extent and that every leg survives occlusion
+//! checks against the other obstacles.
+
+use std::error::Error;
+use std::fmt;
+
+use mpdf_geom::line::Line;
+use mpdf_geom::segment::{Intersection, Segment};
+use mpdf_geom::vec2::Point;
+
+use crate::environment::Environment;
+use crate::path::{PathKind, PropagationPath};
+
+/// Configuration for a trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceConfig {
+    /// Maximum wall-bounce order (0 = LOS only, up to 3).
+    ///
+    /// Third-order bounces form the reverberant tail that gives indoor
+    /// channels their delay spread — and hence the per-subcarrier
+    /// diversity the paper's weighting schemes exploit.
+    pub max_order: u8,
+    /// Paths whose accumulated amplitude factor falls below this are
+    /// dropped (relative to the unit LOS factor).
+    pub min_amplitude_factor: f64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            max_order: 3,
+            min_amplitude_factor: 2e-2,
+        }
+    }
+}
+
+/// Error returned by [`trace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// Transmitter lies outside the room.
+    TxOutsideRoom,
+    /// Receiver lies outside the room.
+    RxOutsideRoom,
+    /// Transmitter and receiver coincide.
+    CoincidentEndpoints,
+    /// The configured bounce order is not supported.
+    UnsupportedOrder(u8),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::TxOutsideRoom => write!(f, "transmitter is outside the room"),
+            TraceError::RxOutsideRoom => write!(f, "receiver is outside the room"),
+            TraceError::CoincidentEndpoints => {
+                write!(f, "transmitter and receiver coincide")
+            }
+            TraceError::UnsupportedOrder(o) => {
+                write!(f, "bounce order {o} is not supported (max 3)")
+            }
+        }
+    }
+}
+
+impl Error for TraceError {}
+
+/// Traces all propagation paths from `tx` to `rx` in `env`.
+///
+/// Returns the LOS path (possibly attenuated by furniture) plus every
+/// geometrically valid wall reflection up to `cfg.max_order`, sorted by
+/// increasing length (the LOS path, being shortest, comes first).
+///
+/// # Errors
+/// See [`TraceError`]. A link fully blocked by opaque obstacles still
+/// succeeds — it just yields paths with (near-)zero amplitude, mirroring
+/// a real receiver that measures only noise.
+pub fn trace(
+    env: &Environment,
+    tx: Point,
+    rx: Point,
+    cfg: &TraceConfig,
+) -> Result<Vec<PropagationPath>, TraceError> {
+    if cfg.max_order > 3 {
+        return Err(TraceError::UnsupportedOrder(cfg.max_order));
+    }
+    if !env.contains(tx) {
+        return Err(TraceError::TxOutsideRoom);
+    }
+    if !env.contains(rx) {
+        return Err(TraceError::RxOutsideRoom);
+    }
+    if tx.distance(rx) < 1e-9 {
+        return Err(TraceError::CoincidentEndpoints);
+    }
+
+    let mut paths = Vec::new();
+
+    // Line of sight.
+    let los_factor = env.leg_transmission(&Segment::new(tx, rx), &[]);
+    paths.push(PropagationPath::new(
+        vec![tx, rx],
+        los_factor,
+        PathKind::LineOfSight,
+    ));
+
+    // Bounce sequences of each order, consecutive walls distinct.
+    let mut sequence = Vec::new();
+    for order in 1..=cfg.max_order as usize {
+        sequence.clear();
+        sequence.resize(order, 0usize);
+        enumerate_sequences(env, tx, rx, cfg, order, 0, &mut sequence, &mut paths);
+    }
+
+    paths.retain(|p| {
+        p.kind() == PathKind::LineOfSight || p.amplitude_factor() >= cfg.min_amplitude_factor
+    });
+    paths.sort_by(|a, b| a.length().partial_cmp(&b.length()).unwrap());
+    Ok(paths)
+}
+
+/// Recursively enumerates wall sequences and pushes valid bounce paths.
+#[allow(clippy::too_many_arguments)]
+fn enumerate_sequences(
+    env: &Environment,
+    tx: Point,
+    rx: Point,
+    cfg: &TraceConfig,
+    order: usize,
+    depth: usize,
+    sequence: &mut [usize],
+    out: &mut Vec<PropagationPath>,
+) {
+    if depth == order {
+        if let Some(p) = bounce_path(env, tx, rx, sequence) {
+            if p.amplitude_factor() >= cfg.min_amplitude_factor {
+                out.push(p);
+            }
+        }
+        return;
+    }
+    for w in 0..env.walls().len() {
+        if depth > 0 && sequence[depth - 1] == w {
+            continue; // consecutive bounces off the same wall are degenerate
+        }
+        // Cheap upper bound: the product of reflection coefficients alone
+        // already caps the amplitude; prune hopeless prefixes.
+        let prefix_gamma: f64 = sequence[..depth]
+            .iter()
+            .map(|&i| env.walls()[i].material.reflection())
+            .product::<f64>()
+            * env.walls()[w].material.reflection();
+        if prefix_gamma < cfg.min_amplitude_factor {
+            continue;
+        }
+        sequence[depth] = w;
+        enumerate_sequences(env, tx, rx, cfg, order, depth + 1, sequence, out);
+    }
+}
+
+/// Reflection point of the segment `from_image → target` on wall `wall_idx`,
+/// if it falls strictly within the wall extent.
+fn reflection_point(env: &Environment, image: Point, target: Point, wall_idx: usize) -> Option<Point> {
+    let wall = &env.walls()[wall_idx].segment;
+    match Segment::new(image, target).intersect(wall) {
+        Intersection::Point { at, u, .. } if u > 1e-6 && u < 1.0 - 1e-6 => Some(at),
+        _ => None,
+    }
+}
+
+/// Constructs the specular path bouncing off the given wall sequence via
+/// the image method, or `None` when geometrically invalid.
+fn bounce_path(env: &Environment, tx: Point, rx: Point, walls: &[usize]) -> Option<PropagationPath> {
+    let order = walls.len();
+    debug_assert!(order >= 1);
+
+    // Forward image chain: I_0 = tx, I_j = mirror(I_{j-1}, wall_j).
+    let mut images = Vec::with_capacity(order + 1);
+    images.push(tx);
+    for &w in walls {
+        let line = Line::through_segment(&env.walls()[w].segment)?;
+        let prev = *images.last().expect("non-empty");
+        // A source on the mirror plane has a degenerate image.
+        if line.signed_distance(prev).abs() < 1e-9 {
+            return None;
+        }
+        images.push(line.mirror(prev));
+    }
+
+    // Back-trace reflection points from the receiver.
+    let mut points_rev = Vec::with_capacity(order);
+    let mut target = rx;
+    for j in (0..order).rev() {
+        let p = reflection_point(env, images[j + 1], target, walls[j])?;
+        if p.distance(target) < 1e-9 {
+            return None;
+        }
+        points_rev.push(p);
+        target = p;
+    }
+    points_rev.reverse();
+
+    // Assemble vertices and validate legs.
+    let mut vertices = Vec::with_capacity(order + 2);
+    vertices.push(tx);
+    vertices.extend(points_rev.iter().copied());
+    vertices.push(rx);
+    let mut factor = 1.0;
+    for (j, &w) in walls.iter().enumerate() {
+        factor *= env.walls()[w].material.reflection();
+        // Leg into this bounce: skip the wall behind and ahead.
+        let skip: Vec<usize> = if j == 0 {
+            vec![w]
+        } else {
+            vec![walls[j - 1], w]
+        };
+        let leg = Segment::new(vertices[j], vertices[j + 1]);
+        if leg.length() < 1e-9 || !env.contains(leg.midpoint()) {
+            return None;
+        }
+        factor *= env.leg_transmission(&leg, &skip);
+    }
+    // Final leg to the receiver.
+    let last = Segment::new(vertices[order], vertices[order + 1]);
+    if last.length() < 1e-9 || !env.contains(last.midpoint()) {
+        return None;
+    }
+    factor *= env.leg_transmission(&last, &[walls[order - 1]]);
+
+    Some(PropagationPath::new(
+        vertices,
+        factor,
+        PathKind::WallReflection {
+            order: order as u8,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::material::Material;
+    use mpdf_geom::shapes::Rect;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    /// 8×6 m classroom, concrete walls — the paper's measurement room scale.
+    fn room() -> Environment {
+        Environment::empty_room(Rect::new(p(0.0, 0.0), p(8.0, 6.0)))
+    }
+
+    #[test]
+    fn los_only_trace() {
+        let cfg = TraceConfig {
+            max_order: 0,
+            ..TraceConfig::default()
+        };
+        let paths = trace(&room(), p(2.0, 3.0), p(6.0, 3.0), &cfg).unwrap();
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].kind(), PathKind::LineOfSight);
+        assert!((paths[0].length() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_order_has_four_wall_bounces_in_empty_room() {
+        let cfg = TraceConfig {
+            max_order: 1,
+            min_amplitude_factor: 0.0,
+        };
+        let paths = trace(&room(), p(2.0, 3.0), p(6.0, 3.0), &cfg).unwrap();
+        // LOS + 4 boundary-wall bounces.
+        assert_eq!(paths.len(), 5);
+        assert_eq!(
+            paths
+                .iter()
+                .filter(|p| p.kind() == (PathKind::WallReflection { order: 1 }))
+                .count(),
+            4
+        );
+        // LOS is shortest → first.
+        assert_eq!(paths[0].kind(), PathKind::LineOfSight);
+    }
+
+    #[test]
+    fn first_order_reflection_geometry_is_specular() {
+        // TX (2,3), RX (6,3), bottom wall y=0: image (2,-3), reflection point
+        // where segment (2,-3)→(6,3) crosses y=0: x = 2 + 4·(3/6) = 4.
+        let cfg = TraceConfig {
+            max_order: 1,
+            min_amplitude_factor: 0.0,
+        };
+        let paths = trace(&room(), p(2.0, 3.0), p(6.0, 3.0), &cfg).unwrap();
+        let bottom = paths
+            .iter()
+            .find(|pp| {
+                pp.kind() == (PathKind::WallReflection { order: 1 })
+                    && pp.vertices()[1].y.abs() < 1e-9
+            })
+            .expect("bottom bounce exists");
+        assert!((bottom.vertices()[1].x - 4.0).abs() < 1e-9);
+        // Specular: incident and reflected angles match ⇒ length = |image−rx|.
+        let expect_len = p(2.0, -3.0).distance(p(6.0, 3.0));
+        assert!((bottom.length() - expect_len).abs() < 1e-9);
+    }
+
+    #[test]
+    fn second_order_paths_are_generated_and_longer() {
+        let cfg = TraceConfig {
+            max_order: 2,
+            min_amplitude_factor: 0.0,
+        };
+        let paths = trace(&room(), p(2.0, 3.0), p(6.0, 3.0), &cfg).unwrap();
+        let order2: Vec<_> = paths
+            .iter()
+            .filter(|pp| pp.kind() == (PathKind::WallReflection { order: 2 }))
+            .collect();
+        assert!(!order2.is_empty(), "expected some 2nd-order bounces");
+        let los_len = paths[0].length();
+        for pp in &order2 {
+            assert!(pp.length() > los_len);
+            assert_eq!(pp.vertices().len(), 4);
+            // Amplitude includes two reflection coefficients.
+            assert!(
+                pp.amplitude_factor() <= Material::CONCRETE.reflection().powi(2) + 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn amplitude_filter_prunes_weak_paths() {
+        let all = trace(
+            &room(),
+            p(2.0, 3.0),
+            p(6.0, 3.0),
+            &TraceConfig {
+                max_order: 2,
+                min_amplitude_factor: 0.0,
+            },
+        )
+        .unwrap();
+        let pruned = trace(
+            &room(),
+            p(2.0, 3.0),
+            p(6.0, 3.0),
+            &TraceConfig {
+                max_order: 2,
+                min_amplitude_factor: 0.6,
+            },
+        )
+        .unwrap();
+        assert!(pruned.len() < all.len());
+        // LOS always survives.
+        assert!(pruned.iter().any(|pp| pp.kind() == PathKind::LineOfSight));
+    }
+
+    #[test]
+    fn furniture_blocks_los_but_not_all_reflections() {
+        let mut b = Environment::builder(
+            Rect::new(p(0.0, 0.0), p(8.0, 6.0)),
+            Material::CONCRETE,
+        );
+        b.furniture(Rect::new(p(3.5, 2.5), p(4.5, 3.5)), Material::METAL);
+        let env = b.build();
+        let cfg = TraceConfig {
+            max_order: 1,
+            min_amplitude_factor: 0.0,
+        };
+        let paths = trace(&env, p(2.0, 3.0), p(6.0, 3.0), &cfg).unwrap();
+        let los = paths
+            .iter()
+            .find(|pp| pp.kind() == PathKind::LineOfSight)
+            .unwrap();
+        assert!(
+            los.amplitude_factor() < 0.05,
+            "metal cabinet should gut the LOS"
+        );
+        // The bounce off the top wall clears the cabinet.
+        let top_bounce = paths.iter().any(|pp| {
+            pp.kind() == (PathKind::WallReflection { order: 1 })
+                && pp.vertices()[1].y > 5.9
+                && pp.amplitude_factor() > 0.5
+        });
+        assert!(top_bounce, "top-wall bounce should survive");
+    }
+
+    #[test]
+    fn validation_errors() {
+        let env = room();
+        let cfg = TraceConfig::default();
+        assert_eq!(
+            trace(&env, p(-1.0, 3.0), p(6.0, 3.0), &cfg),
+            Err(TraceError::TxOutsideRoom)
+        );
+        assert_eq!(
+            trace(&env, p(2.0, 3.0), p(9.0, 3.0), &cfg),
+            Err(TraceError::RxOutsideRoom)
+        );
+        assert_eq!(
+            trace(&env, p(2.0, 3.0), p(2.0, 3.0), &cfg),
+            Err(TraceError::CoincidentEndpoints)
+        );
+        assert_eq!(
+            trace(
+                &env,
+                p(2.0, 3.0),
+                p(6.0, 3.0),
+                &TraceConfig {
+                    max_order: 4,
+                    min_amplitude_factor: 0.0
+                }
+            ),
+            Err(TraceError::UnsupportedOrder(4))
+        );
+    }
+
+    #[test]
+    fn wall_adjacent_link_has_strong_reflection() {
+        // The paper's Fig. 5 setup: a link close to a wall creates a notable
+        // reflected path with a distinct angle.
+        let env = room();
+        let cfg = TraceConfig {
+            max_order: 1,
+            min_amplitude_factor: 0.0,
+        };
+        // Link 1 m from the bottom wall.
+        let paths = trace(&env, p(2.0, 1.0), p(5.0, 1.0), &cfg).unwrap();
+        let bottom = paths
+            .iter()
+            .find(|pp| {
+                pp.kind() == (PathKind::WallReflection { order: 1 })
+                    && pp.vertices()[1].y.abs() < 1e-9
+            })
+            .unwrap();
+        // Excess length is small for a nearby wall → strong reflection.
+        let excess = bottom.length() - paths[0].length();
+        assert!(excess < 1.2, "excess {excess}");
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests for the propagation simulator.
+
+use mpdf_geom::shapes::Rect;
+use mpdf_geom::vec2::Vec2;
+use mpdf_propagation::channel::ChannelModel;
+use mpdf_propagation::environment::Environment;
+use mpdf_propagation::human::HumanBody;
+use mpdf_propagation::path::PathKind;
+use mpdf_propagation::pathloss::PathLossModel;
+use mpdf_propagation::tracer::{trace, TraceConfig};
+use proptest::prelude::*;
+
+fn room() -> Environment {
+    Environment::empty_room(Rect::new(Vec2::ZERO, Vec2::new(8.0, 6.0)))
+}
+
+/// Points well inside the room.
+fn interior() -> impl Strategy<Value = Vec2> {
+    (0.5f64..7.5, 0.5f64..5.5).prop_map(|(x, y)| Vec2::new(x, y))
+}
+
+fn wifi_freq() -> impl Strategy<Value = f64> {
+    2.452e9f64..2.472e9
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn los_is_always_shortest(tx in interior(), rx in interior()) {
+        prop_assume!(tx.distance(rx) > 0.1);
+        let paths = trace(&room(), tx, rx, &TraceConfig::default()).unwrap();
+        prop_assert_eq!(paths[0].kind(), PathKind::LineOfSight);
+        prop_assert!((paths[0].length() - tx.distance(rx)).abs() < 1e-9);
+        for p in &paths[1..] {
+            prop_assert!(p.length() >= paths[0].length() - 1e-9);
+        }
+    }
+
+    #[test]
+    fn reflection_lengths_respect_triangle_inequality(tx in interior(), rx in interior()) {
+        prop_assume!(tx.distance(rx) > 0.1);
+        let paths = trace(&room(), tx, rx, &TraceConfig { max_order: 2, min_amplitude_factor: 0.0 }).unwrap();
+        for p in paths {
+            // Every bounce adds length: total ≥ straight-line distance.
+            prop_assert!(p.length() >= tx.distance(rx) - 1e-9);
+            // Amplitude factors are physical.
+            prop_assert!(p.amplitude_factor() >= 0.0 && p.amplitude_factor() <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn first_order_bounces_are_specular(tx in interior(), rx in interior()) {
+        prop_assume!(tx.distance(rx) > 0.1);
+        let env = room();
+        let paths = trace(&env, tx, rx, &TraceConfig { max_order: 1, min_amplitude_factor: 0.0 }).unwrap();
+        for p in paths.iter().filter(|p| p.kind() == (PathKind::WallReflection { order: 1 })) {
+            // Image-method invariant: bounce length equals |image(tx) − rx|.
+            let bounce = p.vertices()[1];
+            let v_in = (bounce - tx).normalized().unwrap();
+            let v_out = (rx - bounce).normalized().unwrap();
+            // Find which wall the bounce point lies on and check angle equality
+            // via the wall normal: incidence angle == reflection angle means
+            // the normal components flip while tangentials match.
+            let wall = env
+                .walls()
+                .iter()
+                .find(|w| w.segment.distance_to_point(bounce) < 1e-6)
+                .expect("bounce on a wall");
+            let t = wall.segment.direction().normalized().unwrap();
+            let n = t.perp();
+            prop_assert!((v_in.dot(t) - v_out.dot(t)).abs() < 1e-9);
+            prop_assert!((v_in.dot(n) + v_out.dot(n)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn shadow_factor_bounded_and_monotone_with_radius(
+        tx in interior(), rx in interior(), bx in interior(), f in wifi_freq()
+    ) {
+        prop_assume!(tx.distance(rx) > 0.5);
+        prop_assume!(bx.distance(tx) > 0.3 && bx.distance(rx) > 0.3);
+        let model = ChannelModel::new(room(), tx, rx).unwrap();
+        let small = HumanBody::with_params(bx, 0.15, 0.38, 0.35);
+        let big = HumanBody::with_params(bx, 0.45, 0.38, 0.35);
+        let base = model.snapshot(None).unwrap();
+        for path in base.paths() {
+            let bs = small.shadow_factor(path);
+            let bb = big.shadow_factor(path);
+            prop_assert!((0.0..=1.0).contains(&bs));
+            prop_assert!((0.0..=1.0).contains(&bb));
+            // A larger body never shadows less.
+            prop_assert!(bb <= bs + 1e-12);
+        }
+        let _ = f;
+    }
+
+    #[test]
+    fn cfr_is_finite_and_snapshot_deterministic(
+        tx in interior(), rx in interior(), bx in interior(), f in wifi_freq()
+    ) {
+        prop_assume!(tx.distance(rx) > 0.3);
+        prop_assume!(bx.distance(tx) > 1e-3 && bx.distance(rx) > 1e-3);
+        let model = ChannelModel::new(room(), tx, rx).unwrap();
+        let body = HumanBody::new(bx);
+        let s1 = model.snapshot(Some(&body)).unwrap();
+        let s2 = model.snapshot(Some(&body)).unwrap();
+        let h1 = s1.cfr_at(f, Vec2::ZERO);
+        let h2 = s2.cfr_at(f, Vec2::ZERO);
+        prop_assert!(h1.is_finite());
+        prop_assert_eq!(h1, h2);
+    }
+
+    #[test]
+    fn power_decreases_with_distance_on_average(f in wifi_freq()) {
+        // Free-space sanity through the whole stack: average power over
+        // several nearby frequencies must decay with link length.
+        let env = room();
+        let freqs: Vec<f64> = (0..16).map(|i| f + i as f64 * 1e6 - 8e6).collect();
+        let tx = Vec2::new(1.0, 3.0);
+        let mut last = f64::INFINITY;
+        for d in [1.0f64, 2.5, 5.0] {
+            let model = ChannelModel::new(env.clone(), tx, Vec2::new(1.0 + d, 3.0))
+                .unwrap()
+                .with_pathloss(PathLossModel::FREE_SPACE);
+            let snap = model.snapshot(None).unwrap();
+            let avg: f64 = freqs.iter().map(|&fk| snap.power(fk)).sum::<f64>() / freqs.len() as f64;
+            prop_assert!(avg < last, "power must fall with distance");
+            last = avg;
+        }
+    }
+
+    #[test]
+    fn human_scatter_increases_path_count(tx in interior(), rx in interior(), bx in interior()) {
+        prop_assume!(tx.distance(rx) > 0.3);
+        prop_assume!(bx.distance(tx) > 1e-2 && bx.distance(rx) > 1e-2);
+        let model = ChannelModel::new(room(), tx, rx).unwrap();
+        let calm = model.snapshot(None).unwrap();
+        let busy = model.snapshot(Some(&HumanBody::new(bx))).unwrap();
+        prop_assert_eq!(busy.paths().len(), calm.paths().len() + 1);
+    }
+}

@@ -1,0 +1,83 @@
+//! Decibel conversions.
+//!
+//! The paper states link sensitivities in dB (Eq. 5, 8): `Δs = 10·lg(P₁/P₀)`.
+//! These helpers keep power-ratio bookkeeping explicit and tested.
+
+/// Converts a linear power ratio to decibels: `10·log10(p)`.
+///
+/// Returns `-inf` for `p == 0` and NaN for negative input, mirroring
+/// `f64::log10`.
+#[inline]
+pub fn power_to_db(p: f64) -> f64 {
+    10.0 * p.log10()
+}
+
+/// Converts decibels to a linear power ratio: `10^(db/10)`.
+#[inline]
+pub fn db_to_power(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+/// Converts a linear amplitude ratio to decibels: `20·log10(a)`.
+#[inline]
+pub fn amplitude_to_db(a: f64) -> f64 {
+    20.0 * a.log10()
+}
+
+/// Converts decibels to a linear amplitude ratio: `10^(db/20)`.
+#[inline]
+pub fn db_to_amplitude(db: f64) -> f64 {
+    10f64.powf(db / 20.0)
+}
+
+/// Converts milliwatts to dBm.
+#[inline]
+pub fn milliwatts_to_dbm(mw: f64) -> f64 {
+    power_to_db(mw)
+}
+
+/// Converts dBm to milliwatts.
+#[inline]
+pub fn dbm_to_milliwatts(dbm: f64) -> f64 {
+    db_to_power(dbm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_round_trip() {
+        for &db in &[-30.0, -3.0, 0.0, 3.0, 20.0] {
+            assert!((power_to_db(db_to_power(db)) - db).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn amplitude_round_trip() {
+        for &db in &[-12.0, 0.0, 6.0] {
+            assert!((amplitude_to_db(db_to_amplitude(db)) - db).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn known_values() {
+        assert!((power_to_db(100.0) - 20.0).abs() < 1e-12);
+        assert!((db_to_power(3.0) - 1.9952623149688795).abs() < 1e-12);
+        assert!((amplitude_to_db(10.0) - 20.0).abs() < 1e-12);
+        assert!((dbm_to_milliwatts(0.0) - 1.0).abs() < 1e-12);
+        assert!((milliwatts_to_dbm(1000.0) - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn amplitude_db_is_twice_power_db() {
+        let a = 0.37;
+        assert!((amplitude_to_db(a) - power_to_db(a * a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_power_is_neg_infinity() {
+        assert_eq!(power_to_db(0.0), f64::NEG_INFINITY);
+        assert!(power_to_db(-1.0).is_nan());
+    }
+}

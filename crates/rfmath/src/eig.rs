@@ -1,0 +1,313 @@
+//! Hermitian eigendecomposition via the cyclic complex Jacobi method.
+//!
+//! The MUSIC angle-of-arrival estimator (paper §IV-B1) needs the
+//! eigendecomposition of a small Hermitian sample-covariance matrix
+//! (3×3 for the paper's three-antenna receiver). The complex Jacobi
+//! iteration diagonalizes a Hermitian matrix with a sequence of unitary
+//! plane rotations; it is unconditionally convergent and numerically
+//! benign for the tiny matrices used here.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::complex::Complex64;
+use crate::matrix::CMatrix;
+
+/// Error returned by [`hermitian_eig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EigError {
+    /// The input matrix was not square.
+    NotSquare,
+    /// The input matrix was not Hermitian within tolerance.
+    NotHermitian,
+    /// The Jacobi iteration failed to converge within the sweep budget.
+    NoConvergence,
+}
+
+impl fmt::Display for EigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EigError::NotSquare => write!(f, "matrix is not square"),
+            EigError::NotHermitian => write!(f, "matrix is not hermitian"),
+            EigError::NoConvergence => write!(f, "jacobi iteration did not converge"),
+        }
+    }
+}
+
+impl Error for EigError {}
+
+/// Result of a Hermitian eigendecomposition `A = V diag(λ) Vᴴ`.
+///
+/// Eigenvalues are real (Hermitian input) and sorted in **descending**
+/// order; `vectors.col(k)` is the unit eigenvector for `values[k]`. The
+/// descending order matches how MUSIC partitions signal and noise subspaces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EigDecomposition {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Unitary matrix whose k-th column is the eigenvector of `values[k]`.
+    pub vectors: CMatrix,
+}
+
+impl EigDecomposition {
+    /// Reconstructs `V diag(λ) Vᴴ`; used by tests to bound residuals.
+    pub fn reconstruct(&self) -> CMatrix {
+        let n = self.values.len();
+        let lambda = CMatrix::from_fn(n, n, |r, c| {
+            if r == c {
+                Complex64::from_re(self.values[r])
+            } else {
+                Complex64::ZERO
+            }
+        });
+        &(&self.vectors * &lambda) * &self.vectors.hermitian()
+    }
+
+    /// Returns the eigenvectors spanning the noise subspace: columns
+    /// `signal_dim..n`. This is the `E_N` matrix of the MUSIC estimator.
+    ///
+    /// # Panics
+    /// Panics if `signal_dim > n`.
+    pub fn noise_subspace(&self, signal_dim: usize) -> CMatrix {
+        let n = self.values.len();
+        assert!(signal_dim <= n, "signal dimension exceeds matrix order");
+        let cols = n - signal_dim;
+        assert!(cols > 0, "noise subspace is empty");
+        CMatrix::from_fn(n, cols, |r, c| self.vectors[(r, signal_dim + c)])
+    }
+}
+
+/// Maximum number of full Jacobi sweeps before giving up.
+const MAX_SWEEPS: usize = 100;
+
+/// Computes the eigendecomposition of a Hermitian matrix.
+///
+/// `tol` bounds both the Hermitian-input check and the convergence test
+/// (largest off-diagonal modulus relative to the Frobenius norm); `1e-12`
+/// is a good default for covariance matrices.
+///
+/// # Errors
+/// - [`EigError::NotSquare`] if the matrix is not square.
+/// - [`EigError::NotHermitian`] if `‖A − Aᴴ‖` exceeds `tol·‖A‖`.
+/// - [`EigError::NoConvergence`] if the sweep budget is exhausted.
+///
+/// ```
+/// use mpdf_rfmath::complex::Complex64;
+/// use mpdf_rfmath::matrix::CMatrix;
+/// use mpdf_rfmath::eig::hermitian_eig;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let a = CMatrix::from_rows(2, 2, &[
+///     Complex64::new(2.0, 0.0), Complex64::new(0.0, 1.0),
+///     Complex64::new(0.0, -1.0), Complex64::new(2.0, 0.0),
+/// ]);
+/// let eig = hermitian_eig(&a, 1e-12)?;
+/// assert!((eig.values[0] - 3.0).abs() < 1e-9);
+/// assert!((eig.values[1] - 1.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn hermitian_eig(a: &CMatrix, tol: f64) -> Result<EigDecomposition, EigError> {
+    if !a.is_square() {
+        return Err(EigError::NotSquare);
+    }
+    if !a.is_hermitian(tol.max(1e-9)) {
+        return Err(EigError::NotHermitian);
+    }
+    let n = a.rows();
+    // Symmetrize to kill floating-point asymmetry before iterating.
+    let mut m = (a + &a.hermitian()).scale(0.5);
+    let mut v = CMatrix::identity(n);
+    let scale = m.frobenius_norm().max(f64::MIN_POSITIVE);
+    let threshold = tol.max(f64::EPSILON) * scale;
+
+    for _sweep in 0..MAX_SWEEPS {
+        if m.max_off_diagonal() <= threshold {
+            return Ok(sorted_decomposition(&m, &v));
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.norm() <= threshold * 1e-2 {
+                    continue;
+                }
+                let rot = plane_rotation(n, p, q, m[(p, p)].re, m[(q, q)].re, apq);
+                m = &(&rot.hermitian() * &m) * &rot;
+                v = &v * &rot;
+            }
+        }
+    }
+    if m.max_off_diagonal() <= threshold * 10.0 {
+        return Ok(sorted_decomposition(&m, &v));
+    }
+    Err(EigError::NoConvergence)
+}
+
+/// Builds the unitary plane rotation that annihilates entry `(p, q)` of a
+/// Hermitian matrix with diagonal entries `app`, `aqq` and off-diagonal
+/// `apq = |apq| e^{iφ}`.
+fn plane_rotation(n: usize, p: usize, q: usize, app: f64, aqq: f64, apq: Complex64) -> CMatrix {
+    let abs = apq.norm();
+    let phi = apq.arg();
+    // tan(2θ) = 2|apq| / (app − aqq); pick the small-angle root for stability.
+    let tau = (app - aqq) / (2.0 * abs);
+    let t = if tau >= 0.0 {
+        1.0 / (tau + (tau * tau + 1.0).sqrt())
+    } else {
+        -1.0 / (-tau + (tau * tau + 1.0).sqrt())
+    };
+    let c = 1.0 / (t * t + 1.0).sqrt();
+    let s = t * c;
+    let mut rot = CMatrix::identity(n);
+    rot[(p, p)] = Complex64::from_re(c);
+    rot[(q, q)] = Complex64::from_re(c);
+    rot[(p, q)] = Complex64::from_polar(-s, phi);
+    rot[(q, p)] = Complex64::from_polar(s, -phi);
+    rot
+}
+
+/// Sorts the diagonal of the (near-)diagonalized matrix descending and
+/// permutes the eigenvector columns to match.
+fn sorted_decomposition(m: &CMatrix, v: &CMatrix) -> EigDecomposition {
+    let n = m.rows();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| {
+        m[(j, j)]
+            .re
+            .partial_cmp(&m[(i, i)].re)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let values = order.iter().map(|&i| m[(i, i)].re).collect();
+    let vectors = CMatrix::from_fn(n, n, |r, c| v[(r, order[c])]);
+    EigDecomposition { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(re: f64, im: f64) -> Complex64 {
+        Complex64::new(re, im)
+    }
+
+    fn residual(a: &CMatrix, eig: &EigDecomposition) -> f64 {
+        (a - &eig.reconstruct()).frobenius_norm() / a.frobenius_norm().max(1.0)
+    }
+
+    #[test]
+    fn diagonal_matrix_is_its_own_decomposition() {
+        let a = CMatrix::from_fn(3, 3, |r, cc| {
+            if r == cc {
+                c(3.0 - r as f64, 0.0)
+            } else {
+                Complex64::ZERO
+            }
+        });
+        let e = hermitian_eig(&a, 1e-12).unwrap();
+        assert_eq!(e.values, vec![3.0, 2.0, 1.0]);
+        assert!(residual(&a, &e) < 1e-12);
+    }
+
+    #[test]
+    fn pauli_y_like_matrix() {
+        // [[2, i], [-i, 2]] has eigenvalues 3 and 1.
+        let a = CMatrix::from_rows(2, 2, &[c(2.0, 0.0), c(0.0, 1.0), c(0.0, -1.0), c(2.0, 0.0)]);
+        let e = hermitian_eig(&a, 1e-12).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+        assert!(residual(&a, &e) < 1e-10);
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let v = [c(1.0, 2.0), c(-0.5, 0.3), c(0.0, -1.0)];
+        let w = [c(0.2, 0.0), c(1.0, -1.0), c(0.4, 0.4)];
+        let a = &(&CMatrix::outer(&v, &v).scale(2.0) + &CMatrix::outer(&w, &w))
+            + &CMatrix::identity(3).scale(0.1);
+        let e = hermitian_eig(&a, 1e-12).unwrap();
+        let gram = &e.vectors.hermitian() * &e.vectors;
+        assert!((&gram - &CMatrix::identity(3)).frobenius_norm() < 1e-9);
+    }
+
+    #[test]
+    fn rank_one_plus_noise_floor() {
+        // σ²I + p·u uᴴ: top eigenvalue σ² + p‖u‖², rest σ².
+        let u = [c(0.6, 0.0), c(0.0, 0.8)];
+        let sigma2 = 0.25;
+        let p = 4.0;
+        let a = &CMatrix::outer(&u, &u).scale(p) + &CMatrix::identity(2).scale(sigma2);
+        let e = hermitian_eig(&a, 1e-12).unwrap();
+        assert!((e.values[0] - (sigma2 + p)).abs() < 1e-10);
+        assert!((e.values[1] - sigma2).abs() < 1e-10);
+        // Top eigenvector is parallel to u.
+        let v0 = e.vectors.col(0);
+        let dot: Complex64 = u.iter().zip(&v0).map(|(&a, &b)| a.conj() * b).sum();
+        assert!((dot.norm() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noise_subspace_is_orthogonal_to_signal() {
+        let u = [c(1.0, 0.0), c(0.0, 1.0), c(1.0, 1.0)];
+        let a = &CMatrix::outer(&u, &u).scale(5.0) + &CMatrix::identity(3).scale(0.01);
+        let e = hermitian_eig(&a, 1e-12).unwrap();
+        let en = e.noise_subspace(1);
+        assert_eq!(en.cols(), 2);
+        // uᴴ E_N should vanish.
+        for col in 0..2 {
+            let proj: Complex64 = (0..3).map(|i| u[i].conj() * en[(i, col)]).sum();
+            assert!(proj.norm() < 1e-8, "noise column {col} not orthogonal");
+        }
+    }
+
+    #[test]
+    fn larger_random_like_matrix_converges() {
+        // Deterministic pseudo-random Hermitian 8×8.
+        let mut seed = 42u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let mut a = CMatrix::zeros(8, 8);
+        for r in 0..8 {
+            for cc in r..8 {
+                let z = if r == cc {
+                    c(next(), 0.0)
+                } else {
+                    c(next(), next())
+                };
+                a[(r, cc)] = z;
+                a[(cc, r)] = z.conj();
+            }
+        }
+        let e = hermitian_eig(&a, 1e-12).unwrap();
+        assert!(residual(&a, &e) < 1e-9);
+        // Trace is preserved by similarity transforms.
+        let tr: f64 = e.values.iter().sum();
+        assert!((tr - a.trace().re).abs() < 1e-9);
+        // Sorted descending.
+        for w in e.values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = CMatrix::zeros(2, 3);
+        assert_eq!(hermitian_eig(&a, 1e-12), Err(EigError::NotSquare));
+    }
+
+    #[test]
+    fn rejects_non_hermitian() {
+        let a = CMatrix::from_rows(2, 2, &[c(1.0, 0.0), c(1.0, 0.0), c(0.0, 0.0), c(1.0, 0.0)]);
+        assert_eq!(hermitian_eig(&a, 1e-12), Err(EigError::NotHermitian));
+    }
+
+    #[test]
+    fn error_display_is_lowercase() {
+        assert_eq!(EigError::NotSquare.to_string(), "matrix is not square");
+        assert_eq!(
+            EigError::NoConvergence.to_string(),
+            "jacobi iteration did not converge"
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! # mpdf-wifi — 802.11n CSI measurement substrate
+//!
+//! Emulates the paper's measurement stack (Tenda AP → Intel 5300 NIC →
+//! CSI tool) on top of the `mpdf-propagation` channel simulator:
+//!
+//! - [`band`] — channel 11 band plan and the Intel 5300 30-subcarrier grid.
+//! - [`csi`] — per-packet CSI matrices and power/RSS features.
+//! - [`mod@array`] — the 3-element λ/2 receive ULA and its steering vectors.
+//! - [`impairments`] — AWGN, CFO/SFO phase errors, AGC jitter.
+//! - [`sanitize`] — linear-phase calibration (the paper's \[26\]).
+//! - [`receiver`] — the 50 pkt/s campaign driver, fully seeded.
+//! - [`trace`] — versioned binary capture files for record/replay.
+//!
+//! ```
+//! use mpdf_geom::shapes::Rect;
+//! use mpdf_geom::vec2::Vec2;
+//! use mpdf_propagation::channel::ChannelModel;
+//! use mpdf_propagation::environment::Environment;
+//! use mpdf_wifi::receiver::CsiReceiver;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let room = Environment::empty_room(Rect::new(Vec2::ZERO, Vec2::new(8.0, 6.0)));
+//! let link = ChannelModel::new(room, Vec2::new(2.0, 3.0), Vec2::new(6.0, 3.0))?;
+//! let mut rx = CsiReceiver::new(link, 42)?;
+//! let packets = rx.capture_static(None, 10)?;
+//! assert_eq!(packets[0].subcarriers(), 30);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod array;
+pub mod band;
+pub mod csi;
+pub mod impairments;
+pub mod receiver;
+pub mod sanitize;
+pub mod trace;
+
+pub use array::UniformLinearArray;
+pub use band::{Band, INTEL5300_SUBCARRIER_INDICES, NUM_SUBCARRIERS};
+pub use csi::CsiPacket;
+pub use impairments::ImpairmentModel;
+pub use receiver::{Actor, CsiReceiver, ReceiverConfig};

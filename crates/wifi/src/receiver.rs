@@ -1,0 +1,463 @@
+//! The CSI receiver simulator — the measurement-campaign driver.
+//!
+//! Plays the role of the paper's mini-PC + Intel 5300 + CSI tool: it pings
+//! the channel at a packet rate (50 pkt/s in the paper), evaluates the
+//! clean CFR each array element sees, applies receiver impairments, and
+//! hands back [`CsiPacket`]s. All randomness comes from one seeded RNG so
+//! campaigns are exactly reproducible.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use mpdf_propagation::channel::{ChannelModel, ChannelSnapshot};
+use mpdf_propagation::human::HumanBody;
+use mpdf_propagation::tracer::TraceError;
+use mpdf_propagation::trajectory::Trajectory;
+
+use crate::array::UniformLinearArray;
+use crate::band::Band;
+use crate::csi::CsiPacket;
+use crate::impairments::ImpairmentModel;
+
+/// Packet rate used throughout the paper's evaluation (§V-A).
+pub const DEFAULT_PACKET_RATE_HZ: f64 = 50.0;
+
+/// Receiver configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReceiverConfig {
+    /// Band plan (default: channel 11 with the Intel 5300 grid).
+    pub band: Band,
+    /// Receive array (default: 3-element λ/2 ULA).
+    pub array: UniformLinearArray,
+    /// Impairment model (default: commodity NIC).
+    pub impairments: ImpairmentModel,
+    /// Packet rate in Hz (default 50).
+    pub packet_rate_hz: f64,
+    /// Amplitude of session-to-session clutter drift, relative to the RMS
+    /// CSI amplitude (default 0.04). Real campaigns span days: doors,
+    /// chairs and equipment move between the calibration and monitoring
+    /// sessions, perturbing the static profile. Modelled as one weak
+    /// extra path with random delay, arrival angle and phase, resampled
+    /// by [`CsiReceiver::resample_drift`]. `0` disables drift.
+    pub clutter_drift_rel: f64,
+    /// Peak flat gain drift between sessions in dB (uniform in
+    /// `±session_gain_drift_db`; default 1.0). Applied by
+    /// [`CsiReceiver::resample_drift`] alongside the clutter path.
+    pub session_gain_drift_db: f64,
+}
+
+impl Default for ReceiverConfig {
+    fn default() -> Self {
+        let band = Band::wifi_2_4ghz_channel11();
+        let array = UniformLinearArray::three_element(band.center_wavelength());
+        ReceiverConfig {
+            band,
+            array,
+            impairments: ImpairmentModel::commodity_nic(),
+            packet_rate_hz: DEFAULT_PACKET_RATE_HZ,
+            clutter_drift_rel: 0.025,
+            session_gain_drift_db: 0.3,
+        }
+    }
+}
+
+/// A simulated CSI receiver bound to one TX–RX link.
+#[derive(Debug, Clone)]
+pub struct CsiReceiver {
+    channel: ChannelModel,
+    config: ReceiverConfig,
+    /// Fixed front-end gain normalizing CSI amplitudes to O(1).
+    gain: f64,
+    /// Reference per-sample signal power used to size AWGN (measured on
+    /// the static environment, like a real noise floor calibration).
+    reference_power: f64,
+    /// Current session's clutter-drift CSI, `[antenna][subcarrier]`
+    /// row-major; zero until [`CsiReceiver::resample_drift`] is called.
+    drift: Vec<mpdf_rfmath::complex::Complex64>,
+    /// Current session's flat gain drift (linear amplitude; 1 = none).
+    session_gain: f64,
+    /// Current session's interferer centre subcarrier.
+    interferer_center: usize,
+    rng: SmallRng,
+    seq: u64,
+    time: f64,
+}
+
+impl CsiReceiver {
+    /// Creates a receiver with default configuration and the given RNG
+    /// seed.
+    ///
+    /// # Errors
+    /// Propagates [`TraceError`] if the link cannot be traced.
+    pub fn new(channel: ChannelModel, seed: u64) -> Result<Self, TraceError> {
+        CsiReceiver::with_config(channel, ReceiverConfig::default(), seed)
+    }
+
+    /// Creates a receiver with an explicit configuration.
+    ///
+    /// # Errors
+    /// Propagates [`TraceError`] if the link cannot be traced.
+    ///
+    /// # Panics
+    /// Panics if the packet rate is not positive.
+    pub fn with_config(
+        channel: ChannelModel,
+        config: ReceiverConfig,
+        seed: u64,
+    ) -> Result<Self, TraceError> {
+        assert!(config.packet_rate_hz > 0.0, "packet rate must be positive");
+        // Normalize so a 1 m LOS link has unit amplitude.
+        let fc = config.band.center_hz();
+        let gain = 1.0 / channel.pathloss().amplitude_gain(1.0, fc);
+        let snapshot = channel.snapshot(None)?;
+        let freqs = config.band.frequencies();
+        let mut power = 0.0;
+        let offsets = config.array.offsets();
+        for off in &offsets {
+            for h in snapshot.cfr_with_offset(&freqs, *off) {
+                power += (h * gain).norm_sqr();
+            }
+        }
+        let reference_power =
+            (power / (offsets.len() * freqs.len()) as f64).max(f64::MIN_POSITIVE);
+        let drift = vec![
+            mpdf_rfmath::complex::Complex64::ZERO;
+            offsets.len() * freqs.len()
+        ];
+        Ok(CsiReceiver {
+            channel,
+            config,
+            gain,
+            reference_power,
+            drift,
+            session_gain: 1.0,
+            interferer_center: freqs.len() / 2,
+            rng: SmallRng::seed_from_u64(seed),
+            seq: 0,
+            time: 0.0,
+        })
+    }
+
+    /// Resamples the session clutter drift: one weak extra path with
+    /// random delay (10–80 ns), arrival angle (±75°) and phase, at the
+    /// configured relative amplitude. Call between "sessions" (e.g.
+    /// calibration day vs. monitoring day); a no-op when
+    /// `clutter_drift_rel == 0`.
+    pub fn resample_drift(&mut self) {
+        use mpdf_rfmath::complex::Complex64;
+        use rand::Rng as _;
+        // Flat gain drift: TX power control, AGC reference and thermal
+        // effects shift the whole CSI level between sessions.
+        self.session_gain = if self.config.session_gain_drift_db > 0.0 {
+            let gain_db = self.rng.gen_range(-1.0..1.0) * self.config.session_gain_drift_db;
+            mpdf_rfmath::db::db_to_amplitude(gain_db)
+        } else {
+            1.0
+        };
+        // The session's narrowband interferer parks on a new frequency.
+        self.interferer_center = self.rng.gen_range(0..self.config.band.num_subcarriers());
+        let rel = self.config.clutter_drift_rel;
+        if rel <= 0.0 {
+            for d in &mut self.drift {
+                *d = Complex64::ZERO;
+            }
+            return;
+        }
+        let amp = rel * self.reference_power.sqrt();
+        let tau = self.rng.gen_range(10e-9..80e-9);
+        let theta = self.rng.gen_range(-75f64.to_radians()..75f64.to_radians());
+        let phi0 = self.rng.gen_range(0.0..std::f64::consts::TAU);
+        let freqs = self.config.band.frequencies();
+        let lambda = self.config.band.center_wavelength();
+        let steer = self.config.array.steering_vector(theta, lambda);
+        self.drift.clear();
+        for s in &steer {
+            for &f in &freqs {
+                let phase = phi0 - std::f64::consts::TAU * f * tau;
+                self.drift.push(*s * Complex64::from_polar(amp, phase));
+            }
+        }
+    }
+
+    /// The underlying channel model.
+    pub fn channel(&self) -> &ChannelModel {
+        &self.channel
+    }
+
+    /// Receiver configuration.
+    pub fn config(&self) -> &ReceiverConfig {
+        &self.config
+    }
+
+    /// Band plan shortcut.
+    pub fn band(&self) -> &Band {
+        &self.config.band
+    }
+
+    /// Array shortcut.
+    pub fn array(&self) -> &UniformLinearArray {
+        &self.config.array
+    }
+
+    /// Per-sample reference signal power of the empty room.
+    pub fn reference_power(&self) -> f64 {
+        self.reference_power
+    }
+
+    /// Clean (impairment-free) packet for a frozen channel snapshot,
+    /// including the current session's clutter drift.
+    fn clean_packet(&self, snapshot: &ChannelSnapshot) -> CsiPacket {
+        let freqs = self.config.band.frequencies();
+        let offsets = self.config.array.offsets();
+        let mut data = Vec::with_capacity(offsets.len() * freqs.len());
+        for (i, off) in offsets.iter().enumerate() {
+            for (k, h) in snapshot.cfr_with_offset(&freqs, *off).into_iter().enumerate() {
+                data.push((h * self.gain + self.drift[i * freqs.len() + k]) * self.session_gain);
+            }
+        }
+        CsiPacket::new(offsets.len(), freqs.len(), data, self.seq, self.time)
+    }
+
+    fn emit(&mut self, snapshot: &ChannelSnapshot) -> CsiPacket {
+        let mut packet = self.clean_packet(snapshot);
+        self.config.impairments.apply_with_interferer(
+            &mut packet,
+            self.config.band.indices(),
+            self.reference_power,
+            Some(self.interferer_center),
+            &mut self.rng,
+        );
+        self.seq += 1;
+        self.time += 1.0 / self.config.packet_rate_hz;
+        packet
+    }
+
+    /// Captures `n` packets with a static scene (optional stationary
+    /// human).
+    ///
+    /// # Errors
+    /// Propagates [`TraceError`] from the snapshot.
+    pub fn capture_static(
+        &mut self,
+        human: Option<&HumanBody>,
+        n: usize,
+    ) -> Result<Vec<CsiPacket>, TraceError> {
+        let snapshot = self.channel.snapshot(human)?;
+        Ok((0..n).map(|_| self.emit(&snapshot)).collect())
+    }
+
+    /// Captures `n` packets while the human follows `trajectory`
+    /// (re-tracing the channel per packet). Time starts at the current
+    /// receiver clock and the trajectory is evaluated on the *elapsed*
+    /// time since this call began.
+    ///
+    /// # Errors
+    /// Propagates [`TraceError`] from per-packet snapshots.
+    pub fn capture_moving<T: Trajectory + ?Sized>(
+        &mut self,
+        body: &HumanBody,
+        trajectory: &T,
+        n: usize,
+    ) -> Result<Vec<CsiPacket>, TraceError> {
+        let t0 = self.time;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let pos = trajectory.position(self.time - t0);
+            let snapshot = self.channel.snapshot(Some(&body.at(pos)))?;
+            out.push(self.emit(&snapshot));
+        }
+        Ok(out)
+    }
+
+    /// Current receiver clock in seconds.
+    pub fn clock(&self) -> f64 {
+        self.time
+    }
+
+    /// Captures a multi-session static recording: `sessions` blocks of
+    /// `per_session` packets each, resampling clutter/gain drift between
+    /// blocks. Real calibration data spans hours or days (the paper's
+    /// captures repeat across day/night and after two weeks), so a
+    /// threshold derived from a single frozen session underestimates the
+    /// environment's variability.
+    ///
+    /// # Errors
+    /// Propagates [`TraceError`] from the snapshot.
+    pub fn capture_sessions(
+        &mut self,
+        human: Option<&HumanBody>,
+        per_session: usize,
+        sessions: usize,
+    ) -> Result<Vec<CsiPacket>, TraceError> {
+        let mut out = Vec::with_capacity(per_session * sessions);
+        for _ in 0..sessions {
+            self.resample_drift();
+            out.extend(self.capture_static(human, per_session)?);
+        }
+        Ok(out)
+    }
+
+    /// Captures `n` packets of a scene with any number of actors, each a
+    /// body following its own trajectory (evaluated on the elapsed time
+    /// since this call began). This models the paper's measurement
+    /// campaign: a monitored person plus background walkers.
+    ///
+    /// # Errors
+    /// Propagates [`TraceError`] from per-packet snapshots.
+    pub fn capture_actors(
+        &mut self,
+        actors: &[Actor<'_>],
+        n: usize,
+    ) -> Result<Vec<CsiPacket>, TraceError> {
+        if actors.is_empty() {
+            return self.capture_static(None, n);
+        }
+        let t0 = self.time;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let elapsed = self.time - t0;
+            let bodies: Vec<HumanBody> = actors
+                .iter()
+                .map(|a| a.body.at(a.trajectory.position(elapsed)))
+                .collect();
+            let snapshot = self.channel.snapshot_multi(&bodies)?;
+            out.push(self.emit(&snapshot));
+        }
+        Ok(out)
+    }
+}
+
+/// One person in a captured scene: a body following a trajectory.
+#[derive(Clone, Copy)]
+pub struct Actor<'a> {
+    /// Body parameters (radius, reflectivity, shadow depth).
+    pub body: HumanBody,
+    /// Motion; use [`mpdf_propagation::trajectory::StaticSway`] for a
+    /// nominally stationary person.
+    pub trajectory: &'a dyn Trajectory,
+}
+
+impl std::fmt::Debug for Actor<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Actor").field("body", &self.body).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpdf_geom::shapes::Rect;
+    use mpdf_geom::vec2::Vec2;
+    use mpdf_propagation::environment::Environment;
+    use mpdf_propagation::trajectory::LinearWalk;
+
+    fn link() -> ChannelModel {
+        let env = Environment::empty_room(Rect::new(Vec2::ZERO, Vec2::new(8.0, 6.0)));
+        ChannelModel::new(env, Vec2::new(2.0, 3.0), Vec2::new(6.0, 3.0)).unwrap()
+    }
+
+    fn ideal_config() -> ReceiverConfig {
+        ReceiverConfig {
+            impairments: ImpairmentModel::ideal(),
+            ..ReceiverConfig::default()
+        }
+    }
+
+    #[test]
+    fn packets_have_paper_shape() {
+        let mut rx = CsiReceiver::new(link(), 1).unwrap();
+        let packets = rx.capture_static(None, 5).unwrap();
+        assert_eq!(packets.len(), 5);
+        for (i, p) in packets.iter().enumerate() {
+            assert_eq!(p.antennas(), 3);
+            assert_eq!(p.subcarriers(), 30);
+            assert_eq!(p.seq, i as u64);
+        }
+        // 50 Hz spacing.
+        assert!((packets[1].timestamp - packets[0].timestamp - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ideal_receiver_is_deterministic_and_noiseless() {
+        let mut rx = CsiReceiver::with_config(link(), ideal_config(), 1).unwrap();
+        let p = rx.capture_static(None, 2).unwrap();
+        for a in 0..3 {
+            for k in 0..30 {
+                assert_eq!(p[0].get(a, k), p[1].get(a, k));
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_capture_is_reproducible() {
+        let run = |seed| {
+            let mut rx = CsiReceiver::new(link(), seed).unwrap();
+            rx.capture_static(None, 3).unwrap()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn csi_amplitudes_are_order_one() {
+        let mut rx = CsiReceiver::with_config(link(), ideal_config(), 1).unwrap();
+        let p = &rx.capture_static(None, 1).unwrap()[0];
+        let amp = p.get(0, 15).norm();
+        assert!(amp > 1e-3 && amp < 10.0, "normalized amplitude {amp}");
+    }
+
+    #[test]
+    fn human_presence_changes_packets() {
+        let mut rx = CsiReceiver::with_config(link(), ideal_config(), 1).unwrap();
+        let calm = rx.capture_static(None, 1).unwrap();
+        let body = HumanBody::new(Vec2::new(4.0, 3.0));
+        let busy = rx.capture_static(Some(&body), 1).unwrap();
+        let mut delta = 0.0;
+        for a in 0..3 {
+            for k in 0..30 {
+                delta += (calm[0].get(a, k) - busy[0].get(a, k)).norm_sqr();
+            }
+        }
+        assert!(delta > 1e-6, "human must perturb CSI, delta={delta}");
+    }
+
+    #[test]
+    fn moving_capture_changes_over_time() {
+        let mut rx = CsiReceiver::with_config(link(), ideal_config(), 1).unwrap();
+        let body = HumanBody::new(Vec2::new(2.0, 1.0));
+        let walk = LinearWalk::new(Vec2::new(2.0, 1.0), Vec2::new(6.0, 5.0), 2.0);
+        let packets = rx.capture_moving(&body, &walk, 20).unwrap();
+        // CSI at the start and end of the walk must differ.
+        let first = &packets[0];
+        let last = &packets[19];
+        let mut delta = 0.0;
+        for a in 0..3 {
+            for k in 0..30 {
+                delta += (first.get(a, k) - last.get(a, k)).norm_sqr();
+            }
+        }
+        assert!(delta > 1e-6);
+    }
+
+    #[test]
+    fn antenna_elements_see_different_phases() {
+        let mut rx = CsiReceiver::with_config(link(), ideal_config(), 1).unwrap();
+        // Add an off-axis scatterer so arrival isn't purely broadside.
+        let body = HumanBody::new(Vec2::new(4.0, 4.5));
+        let p = &rx.capture_static(Some(&body), 1).unwrap()[0];
+        let d01 = (p.get(1, 15) * p.get(0, 15).conj()).arg();
+        let d12 = (p.get(2, 15) * p.get(1, 15).conj()).arg();
+        // Multipath superposition: element phases exist and are not all
+        // exactly equal.
+        assert!(d01.abs() + d12.abs() > 1e-6);
+    }
+
+    #[test]
+    fn clock_advances_with_captures() {
+        let mut rx = CsiReceiver::new(link(), 2).unwrap();
+        assert_eq!(rx.clock(), 0.0);
+        let _ = rx.capture_static(None, 50).unwrap();
+        assert!((rx.clock() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests for the CSI measurement substrate.
+
+use mpdf_rfmath::complex::Complex64;
+use mpdf_wifi::band::{Band, INTEL5300_SUBCARRIER_INDICES};
+use mpdf_wifi::csi::CsiPacket;
+use mpdf_wifi::impairments::ImpairmentModel;
+use mpdf_wifi::sanitize::{estimate_linear_phase, sanitize_packet, unwrap_phases};
+use mpdf_wifi::UniformLinearArray;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn amplitude() -> impl Strategy<Value = f64> {
+    0.05f64..4.0
+}
+
+fn phase() -> impl Strategy<Value = f64> {
+    -3.1f64..3.1
+}
+
+/// A packet whose rows carry an arbitrary smooth channel.
+fn packet_strategy() -> impl Strategy<Value = CsiPacket> {
+    (amplitude(), phase(), -0.08f64..0.08, phase()).prop_map(|(a, p0, slope, ant)| {
+        let data: Vec<Complex64> = (0..3)
+            .flat_map(|m| {
+                INTEL5300_SUBCARRIER_INDICES
+                    .iter()
+                    .map(move |&idx| {
+                        Complex64::from_polar(a, p0 + slope * idx as f64 + ant * m as f64)
+                    })
+            })
+            .collect();
+        CsiPacket::new(3, 30, data, 0, 0.0)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn unwrap_never_jumps_more_than_pi(phases in proptest::collection::vec(-3.1f64..3.1, 1..64)) {
+        let un = unwrap_phases(&phases);
+        prop_assert_eq!(un.len(), phases.len());
+        for w in un.windows(2) {
+            prop_assert!((w[1] - w[0]).abs() <= std::f64::consts::PI + 1e-9);
+        }
+        // Unwrapping only adds multiples of 2π.
+        for (u, p) in un.iter().zip(&phases) {
+            let k = (u - p) / std::f64::consts::TAU;
+            prop_assert!((k - k.round()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sanitize_removes_any_injected_linear_phase(pkt in packet_strategy(), slope in -0.1f64..0.1, offset in phase()) {
+        // Inject an extra linear phase, sanitize, and verify the result is
+        // independent of the injection.
+        let mut clean = pkt.clone();
+        sanitize_packet(&mut clean, &INTEL5300_SUBCARRIER_INDICES);
+        // Rebuild a corrupted packet with the injected linear phase.
+        let mut data = Vec::with_capacity(90);
+        for a in 0..3 {
+            for (k, &idx) in INTEL5300_SUBCARRIER_INDICES.iter().enumerate() {
+                data.push(pkt.get(a, k) * Complex64::cis(offset + slope * idx as f64));
+            }
+        }
+        let mut corrupted = CsiPacket::new(3, 30, data, 0, 0.0);
+        sanitize_packet(&mut corrupted, &INTEL5300_SUBCARRIER_INDICES);
+        for a in 0..3 {
+            for k in 0..30 {
+                prop_assert!(
+                    (clean.get(a, k) - corrupted.get(a, k)).norm() < 1e-6,
+                    "antenna {a} subcarrier {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sanitize_preserves_amplitudes(pkt in packet_strategy()) {
+        let mut q = pkt.clone();
+        sanitize_packet(&mut q, &INTEL5300_SUBCARRIER_INDICES);
+        for a in 0..3 {
+            for k in 0..30 {
+                prop_assert!((q.get(a, k).norm() - pkt.get(a, k).norm()).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn estimated_slope_matches_injection(a in amplitude(), slope in -0.08f64..0.08, offset in phase()) {
+        let data: Vec<Complex64> = (0..3)
+            .flat_map(|_| {
+                INTEL5300_SUBCARRIER_INDICES
+                    .iter()
+                    .map(|&idx| Complex64::from_polar(a, offset + slope * idx as f64))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let pkt = CsiPacket::new(3, 30, data, 0, 0.0);
+        let corr = estimate_linear_phase(&pkt, &INTEL5300_SUBCARRIER_INDICES);
+        prop_assert!((corr.slope - slope).abs() < 1e-6, "slope {} vs {}", corr.slope, slope);
+    }
+
+    #[test]
+    fn impairments_preserve_shape_and_are_seeded(pkt in packet_strategy(), seed in 0u64..1000) {
+        let model = ImpairmentModel::commodity_nic();
+        let mut a = pkt.clone();
+        let mut b = pkt.clone();
+        let mut r1 = SmallRng::seed_from_u64(seed);
+        let mut r2 = SmallRng::seed_from_u64(seed);
+        model.apply(&mut a, &INTEL5300_SUBCARRIER_INDICES, 1.0, &mut r1);
+        model.apply(&mut b, &INTEL5300_SUBCARRIER_INDICES, 1.0, &mut r2);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.antennas(), 3);
+        prop_assert_eq!(a.subcarriers(), 30);
+        prop_assert!((0..3).all(|m| (0..30).all(|k| a.get(m, k).is_finite())));
+    }
+
+    #[test]
+    fn band_frequencies_are_strictly_increasing(ch in 1u8..=13) {
+        let band = Band::new(
+            mpdf_wifi::band::channel_center_hz(ch),
+            INTEL5300_SUBCARRIER_INDICES.to_vec(),
+        );
+        let f = band.frequencies();
+        prop_assert!(f.windows(2).all(|w| w[1] > w[0]));
+        prop_assert!(f.iter().all(|&x| x > 2.3e9 && x < 2.6e9));
+    }
+
+    #[test]
+    fn steering_vectors_have_unit_elements(elements in 2usize..8, theta in -1.5f64..1.5) {
+        let array = UniformLinearArray::new(elements, 0.0609, mpdf_geom::vec2::Vec2::new(0.0, 1.0));
+        let sv = array.steering_vector(theta, 0.1218);
+        prop_assert_eq!(sv.len(), elements);
+        for z in sv {
+            prop_assert!((z.norm() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn incidence_angle_is_bounded(elements in 2usize..6, dx in -1.0f64..1.0, dy in -1.0f64..1.0) {
+        prop_assume!(dx.abs() + dy.abs() > 1e-3);
+        let array = UniformLinearArray::new(elements, 0.0609, mpdf_geom::vec2::Vec2::new(0.0, 1.0));
+        let dir = mpdf_geom::vec2::Vec2::new(dx, dy).normalized().unwrap();
+        let theta = array.incidence_angle(dir);
+        prop_assert!(theta.abs() <= std::f64::consts::FRAC_PI_2 + 1e-12);
+    }
+}

@@ -1,0 +1,79 @@
+//! Subcarrier explorer: inspect the multipath factor, the Eq. 15 weights
+//! and per-subcarrier RSS changes for a scene — the paper's §III/IV
+//! analysis, interactive-style.
+//!
+//! Run with `cargo run --release --example subcarrier_explorer`.
+
+use multipath_hd::prelude::*;
+use mpdf_core::multipath_factor::multipath_factors;
+use mpdf_core::subcarrier_weight::SubcarrierWeights;
+use mpdf_wifi::csi::CsiPacket;
+use mpdf_wifi::sanitize::sanitize_packet;
+
+fn bar(x: f64, scale: f64) -> String {
+    let n = ((x * scale).round().max(0.0) as usize).min(40);
+    "█".repeat(n)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let room = Environment::empty_room(Rect::new(Vec2::ZERO, Vec2::new(8.0, 6.0)));
+    let link = ChannelModel::new(room, Vec2::new(2.0, 3.0), Vec2::new(6.0, 3.0))?;
+    let mut receiver = CsiReceiver::new(link, 5)?;
+    let config = DetectorConfig::default();
+    let freqs = config.band.frequencies();
+    let indices = config.band.indices().to_vec();
+
+    // Static profile.
+    let calibration = receiver.capture_sessions(None, 50, 4)?;
+    let sanitized: Vec<CsiPacket> = calibration
+        .iter()
+        .map(|p| {
+            let mut q = p.clone();
+            sanitize_packet(&mut q, &indices);
+            q
+        })
+        .collect();
+    let static_power = CsiPacket::median_power_profile(&sanitized);
+
+    // A person well off the link — the regime where weighting matters.
+    let person = HumanBody::new(Vec2::new(6.4, 4.8));
+    receiver.resample_drift();
+    let window = receiver.capture_static(Some(&person), 25)?;
+    let sanitized_win: Vec<CsiPacket> = window
+        .iter()
+        .map(|p| {
+            let mut q = p.clone();
+            sanitize_packet(&mut q, &indices);
+            q
+        })
+        .collect();
+    let monitored = CsiPacket::median_power_profile(&sanitized_win);
+    let mus = multipath_factors(&sanitized_win[0], &freqs);
+    let weights = SubcarrierWeights::from_packets(&sanitized_win, &freqs);
+
+    println!("slot  idx   μ (1 pkt)  μ̄·r weight  Δs [dB]   |Δs| bar");
+    for k in 0..freqs.len() {
+        let ds = 10.0 * (monitored[k] / static_power[k]).log10();
+        println!(
+            "{k:>4}  {idx:>4}  {mu:>8.3}  {w:>10.5}  {ds:>7.2}   {bar}",
+            idx = indices[k],
+            mu = mus[k],
+            w = weights.weights[k],
+            ds = ds,
+            bar = bar(ds.abs(), 8.0),
+        );
+    }
+
+    // Correlation the weighting scheme relies on: sensitive subcarriers
+    // (large weight) should show large |Δs|.
+    let abs_ds: Vec<f64> = monitored
+        .iter()
+        .zip(&static_power)
+        .map(|(m, s)| (10.0 * (m / s).log10()).abs())
+        .collect();
+    let corr = mpdf_rfmath::fit::pearson(&abs_ds, &weights.weights);
+    println!("\ncorrelation(|Δs|, weight) = {corr:.3}");
+    println!("subcarrier weighting concentrates the detector on the subcarriers the");
+    println!("person actually perturbs — the paper's frequency-diversity insight.");
+    Ok(())
+}
