@@ -15,44 +15,44 @@ fn figure_benches(c: &mut Criterion) {
     let cfg = small_campaign();
 
     g.bench_function("fig2a_rss_change_cdf", |b| {
-        b.iter(|| black_box(exp::fig2::run_fig2a(&cfg, 10)))
+        b.iter(|| black_box(exp::fig2::run_fig2a(&cfg, 10)));
     });
     g.bench_function("fig2b_crossing_series", |b| {
-        b.iter(|| black_box(exp::fig2::run_fig2b(&cfg, 100)))
+        b.iter(|| black_box(exp::fig2::run_fig2b(&cfg, 100)));
     });
     g.bench_function("fig3_mu_fits", |b| {
-        b.iter(|| black_box(exp::fig3::run(&cfg, 10)))
+        b.iter(|| black_box(exp::fig3::run(&cfg, 10)));
     });
     g.bench_function("fig4_mu_stability", |b| {
-        b.iter(|| black_box(exp::fig4::run(&cfg, 200)))
+        b.iter(|| black_box(exp::fig4::run(&cfg, 200)));
     });
     g.bench_function("fig5b_pseudospectrum", |b| {
-        b.iter(|| black_box(exp::fig5::run_fig5b(&cfg)))
+        b.iter(|| black_box(exp::fig5::run_fig5b(&cfg)));
     });
     g.bench_function("fig5c_angle_fan", |b| {
-        b.iter(|| black_box(exp::fig5::run_fig5c(&cfg)))
+        b.iter(|| black_box(exp::fig5::run_fig5c(&cfg)));
     });
     g.bench_function("fig7_roc_campaign", |b| {
-        b.iter(|| black_box(exp::fig7::run(&cfg).unwrap()))
+        b.iter(|| black_box(exp::fig7::run(&cfg).unwrap()));
     });
     g.bench_function("fig8_per_case", |b| {
-        b.iter(|| black_box(exp::fig8::run(&cfg).unwrap()))
+        b.iter(|| black_box(exp::fig8::run(&cfg).unwrap()));
     });
     g.bench_function("fig9_distance", |b| {
-        b.iter(|| black_box(exp::fig9::run(&cfg).unwrap()))
+        b.iter(|| black_box(exp::fig9::run(&cfg).unwrap()));
     });
     g.bench_function("fig10_angle_errors", |b| {
-        b.iter(|| black_box(exp::fig10::run(&cfg)))
+        b.iter(|| black_box(exp::fig10::run(&cfg)));
     });
     g.bench_function("fig11_angle_gain", |b| {
-        b.iter(|| black_box(exp::fig11::run(&cfg).unwrap()))
+        b.iter(|| black_box(exp::fig11::run(&cfg).unwrap()));
     });
     // Fig. 12 sweeps window sizes internally; restrict to the small config
     // via a trimmed clone to keep the bench bounded.
     g.bench_function("fig12_packet_budget", |b| {
         let mut tiny = cfg.clone();
         tiny.negative_windows = 6;
-        b.iter(|| black_box(exp::fig12::run(&tiny).unwrap()))
+        b.iter(|| black_box(exp::fig12::run(&tiny).unwrap()));
     });
     g.finish();
 }

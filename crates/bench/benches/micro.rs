@@ -34,7 +34,7 @@ fn bench_numerics(c: &mut Criterion) {
     let freqs = band.frequencies();
     g.bench_function("dft_30", |b| b.iter(|| black_box(dft(black_box(&x)))));
     g.bench_function("nudft_delay0_30", |b| {
-        b.iter(|| black_box(nudft_at_delay(black_box(&x), black_box(&freqs), 0.0)))
+        b.iter(|| black_box(nudft_at_delay(black_box(&x), black_box(&freqs), 0.0)));
     });
     let v = [
         Complex64::new(1.0, 0.5),
@@ -43,7 +43,7 @@ fn bench_numerics(c: &mut Criterion) {
     ];
     let a = &CMatrix::outer(&v, &v) + &CMatrix::identity(3).scale(0.1);
     g.bench_function("hermitian_eig_3x3", |b| {
-        b.iter(|| black_box(hermitian_eig(black_box(&a), 1e-12).unwrap()))
+        b.iter(|| black_box(hermitian_eig(black_box(&a), 1e-12).unwrap()));
     });
     g.finish();
 }
@@ -55,16 +55,16 @@ fn bench_physics(c: &mut Criterion) {
     let tx = link.tx();
     let rx = link.rx();
     g.bench_function("trace_order3_shell_room", |b| {
-        b.iter(|| black_box(trace(&env, tx, rx, &TraceConfig::default()).unwrap()))
+        b.iter(|| black_box(trace(&env, tx, rx, &TraceConfig::default()).unwrap()));
     });
     let body = HumanBody::new(mpdf_geom::vec2::Point::new(4.0, 3.5));
     g.bench_function("snapshot_with_human", |b| {
-        b.iter(|| black_box(link.snapshot(Some(&body)).unwrap()))
+        b.iter(|| black_box(link.snapshot(Some(&body)).unwrap()));
     });
     let snap = link.snapshot(Some(&body)).unwrap();
     let freqs = Band::wifi_2_4ghz_channel11().frequencies();
     g.bench_function("cfr_30_subcarriers", |b| {
-        b.iter(|| black_box(snap.cfr(black_box(&freqs))))
+        b.iter(|| black_box(snap.cfr(black_box(&freqs))));
     });
     g.finish();
 }
@@ -78,25 +78,25 @@ fn bench_detection(c: &mut Criterion) {
         b.iter(|| {
             let mut q = pkt.clone();
             black_box(sanitize_packet(&mut q, config.band.indices()));
-        })
+        });
     });
     sanitize_packet(&mut pkt, config.band.indices());
     g.bench_function("multipath_factors_packet", |b| {
-        b.iter(|| black_box(multipath_factors(black_box(&pkt), &freqs)))
+        b.iter(|| black_box(multipath_factors(black_box(&pkt), &freqs)));
     });
     g.bench_function("subcarrier_weights_25pkt", |b| {
-        b.iter(|| black_box(SubcarrierWeights::from_packets(black_box(&window), &freqs)))
+        b.iter(|| black_box(SubcarrierWeights::from_packets(black_box(&window), &freqs)));
     });
     let snaps: Vec<Vec<Complex64>> = (0..30).map(|k| pkt.subcarrier_column(k)).collect();
     let r = sample_covariance(&snaps).unwrap();
     let steering = UlaSteering::three_half_wavelength();
     let grid = AngleGrid::full_front(1.0);
     g.bench_function("music_pseudospectrum_181pt", |b| {
-        b.iter(|| black_box(pseudospectrum(&r, &steering, 2, &grid).unwrap()))
+        b.iter(|| black_box(pseudospectrum(&r, &steering, 2, &grid).unwrap()));
     });
     // The three per-window decisions — the §V-B4 latency story.
     g.bench_function("score_baseline_25pkt", |b| {
-        b.iter(|| black_box(Baseline.score(&profile, &window, &config).unwrap()))
+        b.iter(|| black_box(Baseline.score(&profile, &window, &config).unwrap()));
     });
     g.bench_function("score_subcarrier_25pkt", |b| {
         b.iter(|| {
@@ -105,7 +105,7 @@ fn bench_detection(c: &mut Criterion) {
                     .score(&profile, &window, &config)
                     .unwrap(),
             )
-        })
+        });
     });
     g.bench_function("score_combined_25pkt", |b| {
         b.iter(|| {
@@ -114,7 +114,7 @@ fn bench_detection(c: &mut Criterion) {
                     .score(&profile, &window, &config)
                     .unwrap(),
             )
-        })
+        });
     });
     g.finish();
 }

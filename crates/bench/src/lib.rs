@@ -24,6 +24,7 @@ pub fn bench_link() -> ChannelModel {
         mpdf_geom::vec2::Point::new(2.0, 3.0),
         mpdf_geom::vec2::Point::new(6.0, 3.0),
     )
+    // lint: allow(no-panic) — bench fixture; aborting on a broken fixture is the desired behaviour
     .expect("valid link")
 }
 
@@ -31,10 +32,14 @@ pub fn bench_link() -> ChannelModel {
 /// present — the per-decision workload.
 pub fn bench_fixture() -> (CalibrationProfile, Vec<CsiPacket>, DetectorConfig) {
     let config = DetectorConfig::default();
+    // lint: allow(no-panic) — bench fixture; aborting on a broken fixture is the desired behaviour
     let mut rx = CsiReceiver::new(bench_link(), 1234).expect("receiver");
+    // lint: allow(no-panic) — bench fixture; aborting on a broken fixture is the desired behaviour
     let calibration = rx.capture_static(None, 200).expect("capture");
+    // lint: allow(no-panic) — bench fixture; aborting on a broken fixture is the desired behaviour
     let profile = CalibrationProfile::build(&calibration, &config).expect("profile");
     let human = HumanBody::new(mpdf_geom::vec2::Point::new(4.0, 3.5));
+    // lint: allow(no-panic) — bench fixture; aborting on a broken fixture is the desired behaviour
     let window = rx.capture_static(Some(&human), 25).expect("capture");
     (profile, window, config)
 }

@@ -169,10 +169,18 @@ mod tests {
         let det = Detector::calibrate(&packets(80, 0.0, 0), Baseline, cfg, 0.1).unwrap();
         // Static window: no detection.
         let calm = det.decide(&packets(10, 0.0, 1000)).unwrap();
-        assert!(!calm.detected, "static score {} thr {}", calm.score, calm.threshold);
+        assert!(
+            !calm.detected,
+            "static score {} thr {}",
+            calm.score, calm.threshold
+        );
         // Perturbed window: detection.
         let busy = det.decide(&packets(10, 0.2, 2000)).unwrap();
-        assert!(busy.detected, "busy score {} thr {}", busy.score, busy.threshold);
+        assert!(
+            busy.detected,
+            "busy score {} thr {}",
+            busy.score, busy.threshold
+        );
         assert!(busy.score > calm.score);
     }
 
@@ -220,7 +228,8 @@ mod tests {
             window: 10,
             ..DetectorConfig::default()
         };
-        let profile = crate::profile::CalibrationProfile::build(&packets(20, 0.0, 0), &cfg).unwrap();
+        let profile =
+            crate::profile::CalibrationProfile::build(&packets(20, 0.0, 0), &cfg).unwrap();
         let det = Detector::from_parts(profile, Baseline, cfg, 1.23);
         assert_eq!(det.threshold(), 1.23);
         assert_eq!(det.config().window, 10);

@@ -4,6 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 use mpdf_music::music::MusicError;
+use mpdf_propagation::tracer::TraceError;
 
 /// Errors produced by calibration and monitoring.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,6 +27,8 @@ pub enum DetectError {
     },
     /// Angle estimation failed.
     Music(MusicError),
+    /// Ray tracing over the link geometry failed.
+    Trace(TraceError),
 }
 
 impl fmt::Display for DetectError {
@@ -40,6 +43,7 @@ impl fmt::Display for DetectError {
                 write!(f, "calibration needs at least {need} packets, got {got}")
             }
             DetectError::Music(e) => write!(f, "angle estimation failed: {e}"),
+            DetectError::Trace(e) => write!(f, "link geometry is untraceable: {e}"),
         }
     }
 }
@@ -48,6 +52,7 @@ impl Error for DetectError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             DetectError::Music(e) => Some(e),
+            DetectError::Trace(e) => Some(e),
             _ => None,
         }
     }
@@ -59,20 +64,52 @@ impl From<MusicError> for DetectError {
     }
 }
 
+impl From<TraceError> for DetectError {
+    fn from(e: TraceError) -> Self {
+        DetectError::Trace(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn display_messages() {
-        assert_eq!(DetectError::EmptyWindow.to_string(), "packet window is empty");
+        assert_eq!(
+            DetectError::EmptyWindow.to_string(),
+            "packet window is empty"
+        );
         let e = DetectError::ShapeMismatch {
             expected: (3, 30),
             found: (2, 30),
         };
         assert!(e.to_string().contains("(2, 30)"));
+        assert!(e.to_string().contains("(3, 30)"));
         let e = DetectError::InsufficientCalibration { got: 3, need: 50 };
         assert!(e.to_string().contains("at least 50"));
+        assert!(e.to_string().contains("got 3"));
+    }
+
+    #[test]
+    fn music_display_embeds_inner_message() {
+        let inner = MusicError::SignalDimTooLarge {
+            sources: 2,
+            elements: 2,
+        };
+        let e = DetectError::Music(inner.clone());
+        let msg = e.to_string();
+        assert!(msg.starts_with("angle estimation failed"), "{msg}");
+        assert!(msg.contains(&inner.to_string()), "{msg}");
+    }
+
+    #[test]
+    fn trace_display_embeds_inner_message() {
+        let inner = TraceError::TxOutsideRoom;
+        let e = DetectError::Trace(inner.clone());
+        let msg = e.to_string();
+        assert!(msg.starts_with("link geometry is untraceable"), "{msg}");
+        assert!(msg.contains(&inner.to_string()), "{msg}");
     }
 
     #[test]
@@ -81,7 +118,49 @@ mod tests {
             sources: 3,
             elements: 3,
         };
-        let e = DetectError::from(inner);
-        assert!(e.source().is_some());
+        let e = DetectError::from(inner.clone());
+        assert_eq!(e, DetectError::Music(inner.clone()));
+        let src = e.source().expect("wrapped error is the source");
+        assert_eq!(src.to_string(), inner.to_string());
+    }
+
+    #[test]
+    fn trace_error_is_source() {
+        let inner = TraceError::UnsupportedOrder(7);
+        let e = DetectError::from(inner.clone());
+        assert_eq!(e, DetectError::Trace(inner.clone()));
+        let src = e.source().expect("wrapped error is the source");
+        assert_eq!(src.to_string(), inner.to_string());
+    }
+
+    #[test]
+    fn leaf_variants_have_no_source() {
+        assert!(DetectError::EmptyWindow.source().is_none());
+        assert!(DetectError::ShapeMismatch {
+            expected: (3, 30),
+            found: (1, 30),
+        }
+        .source()
+        .is_none());
+        assert!(DetectError::InsufficientCalibration { got: 0, need: 1 }
+            .source()
+            .is_none());
+    }
+
+    #[test]
+    fn question_mark_converts_both_inner_errors() {
+        fn via_music() -> Result<(), DetectError> {
+            Err(MusicError::SignalDimTooLarge {
+                sources: 3,
+                elements: 3,
+            })?;
+            Ok(())
+        }
+        fn via_trace() -> Result<(), DetectError> {
+            Err(TraceError::CoincidentEndpoints)?;
+            Ok(())
+        }
+        assert!(matches!(via_music(), Err(DetectError::Music(_))));
+        assert!(matches!(via_trace(), Err(DetectError::Trace(_))));
     }
 }

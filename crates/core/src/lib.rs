@@ -45,10 +45,10 @@ pub mod variance;
 
 pub use detector::{Decision, Detector};
 pub use error::DetectError;
+pub use hmm::HmmSmoother;
 pub use multipath_factor::multipath_factors;
 pub use path_weight::PathWeights;
 pub use profile::{CalibrationProfile, DetectorConfig};
-pub use hmm::HmmSmoother;
 pub use scheme::{
     Baseline, DetectionScheme, RssiBaseline, SubcarrierAndPathWeighting, SubcarrierWeighting,
 };

@@ -78,10 +78,9 @@ impl TwoPathLink {
         assert!(eta >= 0.0, "eta must be non-negative");
         let g = self.gamma;
         let mu = self.multipath_factor();
-        let term =
-            (eta * eta + 2.0 * eta * (g * phi_prime.cos() + (phi_prime - self.phi).cos()))
-                / (g * g)
-                * mu;
+        let term = (eta * eta + 2.0 * eta * (g * phi_prime.cos() + (phi_prime - self.phi).cos()))
+            / (g * g)
+            * mu;
         10.0 * (1.0 + term).max(f64::MIN_POSITIVE).log10()
     }
 

@@ -15,6 +15,7 @@
 //! so the convention only affects readability.
 
 use mpdf_rfmath::complex::Complex64;
+use mpdf_rfmath::contract;
 use mpdf_rfmath::dft::nudft_at_delay;
 use mpdf_wifi::csi::CsiPacket;
 
@@ -59,7 +60,7 @@ pub fn multipath_factors_row(csi_row: &[Complex64], freqs_hz: &[f64]) -> Vec<f64
     );
     let h0 = dominant_tap_power(csi_row, freqs_hz);
     let pl = los_power_split(h0, freqs_hz);
-    csi_row
+    let mus: Vec<f64> = csi_row
         .iter()
         .zip(pl)
         .map(|(h, p)| {
@@ -70,7 +71,9 @@ pub fn multipath_factors_row(csi_row: &[Complex64], freqs_hz: &[f64]) -> Vec<f64
                 p / power
             }
         })
-        .collect()
+        .collect();
+    contract::assert_non_negative("multipath factors μ (row)", &mus);
+    mus
 }
 
 /// Multipath factors for a whole packet, averaged over antennas —
@@ -98,6 +101,7 @@ pub fn multipath_factors(packet: &CsiPacket, freqs_hz: &[f64]) -> Vec<f64> {
     for v in &mut acc {
         *v /= packet.antennas() as f64;
     }
+    contract::assert_non_negative("multipath factors μ (packet)", &acc);
     acc
 }
 
@@ -156,12 +160,12 @@ mod tests {
         let (kmax, _) = powers
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap();
         let (kmin, _) = powers
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .min_by(|a, b| a.1.total_cmp(b.1))
             .unwrap();
         assert!(
             mus[kmin] > mus[kmax],
@@ -215,5 +219,31 @@ mod tests {
     #[should_panic(expected = "equal length")]
     fn length_mismatch_panics() {
         let _ = multipath_factors_row(&[Complex64::ONE], &[1.0, 2.0]);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// The μ ≥ 0 contract wired into `multipath_factors_row`
+            /// holds for arbitrary bounded CFRs, including rows with
+            /// near-dead subcarriers.
+            #[test]
+            fn random_rows_yield_finite_nonnegative_mu(
+                parts in proptest::collection::vec((-2.0f64..2.0, -2.0f64..2.0), 30),
+            ) {
+                let freqs = band_freqs();
+                let row: Vec<Complex64> = parts
+                    .iter()
+                    .map(|&(re, im)| Complex64::new(re, im))
+                    .collect();
+                let mus = multipath_factors_row(&row, &freqs);
+                prop_assert_eq!(mus.len(), 30);
+                prop_assert!(mus.iter().all(|m| m.is_finite() && *m >= 0.0));
+            }
+        }
     }
 }

@@ -211,12 +211,7 @@ mod tests {
         let applied = w.apply(&spec);
         let cap = PathWeights::DEFAULT_WEIGHT_CAP;
         let mut flat = 0;
-        for ((&a, &v), &wt) in spec
-            .angles_deg()
-            .iter()
-            .zip(&applied)
-            .zip(w.weights())
-        {
+        for ((&a, &v), &wt) in spec.angles_deg().iter().zip(&applied).zip(w.weights()) {
             if wt == 0.0 {
                 assert_eq!(v, 0.0);
             } else if (wt - cap).abs() < 1e-9 {

@@ -280,9 +280,13 @@ mod tests {
         let peaks = profile.static_spectrum().peaks(2, 0.001);
         assert_eq!(peaks.len(), 2, "peaks: {peaks:?}");
         let mut angles: Vec<f64> = peaks.iter().map(|p| p.0).collect();
-        angles.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        angles.sort_by(f64::total_cmp);
         assert!(angles[0].abs() < 6.0, "LOS peak at {}°", angles[0]);
-        assert!((angles[1] - 35.0).abs() < 6.0, "side peak at {}°", angles[1]);
+        assert!(
+            (angles[1] - 35.0).abs() < 6.0,
+            "side peak at {}°",
+            angles[1]
+        );
     }
 
     #[test]

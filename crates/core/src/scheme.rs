@@ -134,7 +134,7 @@ impl DetectionScheme for RssiBaseline {
         let window = sanitized_window(profile, window, config)?;
         let monitored: f64 = window
             .iter()
-            .map(|p| p.total_power())
+            .map(mpdf_wifi::CsiPacket::total_power)
             .sum::<f64>()
             / window.len() as f64;
         // Static wideband power from the stored per-subcarrier profile
@@ -233,8 +233,7 @@ impl DetectionScheme for SubcarrierAndPathWeighting {
         // power-bearing angular profile of the paper's "subcarrier
         // weighted signal strengths".
         let monitored_cov = Self::weighted_covariance(&window, &weights)?;
-        let monitored_spectrum =
-            bartlett_spectrum(&monitored_cov, &config.steering, &config.grid)?;
+        let monitored_spectrum = bartlett_spectrum(&monitored_cov, &config.steering, &config.grid)?;
 
         // Calibration side: the same subcarrier weights applied to the
         // stored static covariances (the §IV-C linearity argument).

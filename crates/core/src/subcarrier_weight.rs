@@ -12,6 +12,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use mpdf_rfmath::contract;
 use mpdf_rfmath::stats::median;
 use mpdf_wifi::csi::CsiPacket;
 
@@ -25,7 +26,11 @@ pub fn single_packet_weights(mus: &[f64]) -> Vec<f64> {
     if total.abs() <= f64::MIN_POSITIVE {
         return vec![1.0 / mus.len().max(1) as f64; mus.len()];
     }
-    mus.iter().map(|&m| (m / total).abs()).collect()
+    let weights: Vec<f64> = mus.iter().map(|&m| (m / total).abs()).collect();
+    // Eq. 12 divides by Σμ, so for the pipeline's non-negative factors
+    // the weights must partition unity.
+    contract::assert_normalized("single-packet weights (Eq. 12)", &weights, 1e-9);
+    weights
 }
 
 /// Multi-packet subcarrier weights (Eq. 13–15).
@@ -94,6 +99,9 @@ impl SubcarrierWeights {
                 .map(|(&mu, &r)| (mu * r / denom).abs())
                 .collect()
         };
+        contract::assert_non_negative("temporal mean μ̄", &mean_mu);
+        contract::assert_unit_interval("stability ratio r (Eq. 14)", &stability);
+        contract::assert_non_negative("combined weights (Eq. 15)", &weights);
         SubcarrierWeights {
             mean_mu,
             stability,
@@ -255,5 +263,34 @@ mod tests {
     #[should_panic(expected = "same subcarrier count")]
     fn ragged_factors_panic() {
         let _ = SubcarrierWeights::from_factors(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// Random non-negative factor windows satisfy the contracts
+            /// wired into the constructors: Eq. 12 weights partition
+            /// unity, r_k ∈ [0, 1], Eq. 15 weights finite non-negative.
+            #[test]
+            fn random_windows_satisfy_weight_contracts(
+                vals in proptest::collection::vec(0.0f64..20.0, 24),
+                m in 1usize..5,
+            ) {
+                let k = 24 / m; // m ∈ {1,2,3,4} all divide 24
+                let window: Vec<Vec<f64>> =
+                    vals.chunks(k).take(m).map(<[f64]>::to_vec).collect();
+                let w = SubcarrierWeights::from_factors(&window);
+                prop_assert!(w.stability.iter().all(|r| (0.0..=1.0).contains(r)));
+                prop_assert!(w.weights.iter().all(|x| x.is_finite() && *x >= 0.0));
+
+                let sw = single_packet_weights(&vals[..k]);
+                let sum: f64 = sw.iter().sum();
+                prop_assert!((sum - 1.0).abs() < 1e-9, "Eq. 12 sum {sum}");
+            }
+        }
     }
 }

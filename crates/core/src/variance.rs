@@ -56,10 +56,7 @@ pub fn motion_score(window: &[CsiPacket]) -> f64 {
 }
 
 /// Scores consecutive windows of a capture and flags motion.
-pub fn motion_decisions(
-    packets: &[CsiPacket],
-    config: &MotionDetectorConfig,
-) -> Vec<(f64, bool)> {
+pub fn motion_decisions(packets: &[CsiPacket], config: &MotionDetectorConfig) -> Vec<(f64, bool)> {
     packets
         .chunks_exact(config.window)
         .map(|w| {

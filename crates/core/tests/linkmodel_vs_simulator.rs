@@ -46,7 +46,10 @@ fn gamma_and_excess(model: &ChannelModel) -> (f64, f64) {
         paths.len(),
         2,
         "stage must have exactly LOS + one bounce, got {:?}",
-        paths.iter().map(|p| (p.kind(), p.length())).collect::<Vec<_>>()
+        paths
+            .iter()
+            .map(|p| (p.kind(), p.length()))
+            .collect::<Vec<_>>()
     );
     assert_eq!(paths[0].kind(), PathKind::LineOfSight);
     let f = 2.462e9;
@@ -129,8 +132,7 @@ fn simulator_matches_eq8_reflection_response() {
         let a_r = calm.paths()[1].gain(f, model.pathloss()).norm();
         let a_h = scatter.gain(f, model.pathloss()).norm();
         let phi = 2.0 * std::f64::consts::PI * f * excess / SPEED_OF_LIGHT;
-        let phi_h = 2.0 * std::f64::consts::PI * f
-            * (scatter.length() - calm.paths()[0].length())
+        let phi_h = 2.0 * std::f64::consts::PI * f * (scatter.length() - calm.paths()[0].length())
             / SPEED_OF_LIGHT;
         // Eq. 8 parameters: η = a'_R/a_R relative to the *existing*
         // reflection, φ' relative to the LOS.

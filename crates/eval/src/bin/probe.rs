@@ -27,7 +27,7 @@ fn main() {
     // Static channel frequency profile.
     println!("static per-subcarrier power:");
     for (k, p) in profile.static_power().iter().enumerate() {
-        print!("{:.3} ", p);
+        print!("{p:.3} ");
         if k % 10 == 9 {
             println!();
         }
@@ -37,9 +37,11 @@ fn main() {
     let mut pkt = calibration[0].clone();
     sanitize_packet(&mut pkt, cfg.detector.band.indices());
     let mus = multipath_factors(&pkt, &freqs);
-    println!("\nμ_k (static packet): min {:.3} max {:.3}",
+    println!(
+        "\nμ_k (static packet): min {:.3} max {:.3}",
         mus.iter().cloned().fold(f64::MAX, f64::min),
-        mus.iter().cloned().fold(f64::MIN, f64::max));
+        mus.iter().cloned().fold(f64::MIN, f64::max)
+    );
 
     // One positive window (human near midpoint, 1 m off-link) and one far.
     for (label, pos) in [
@@ -69,9 +71,11 @@ fn main() {
             .collect();
         let w = SubcarrierWeights::from_packets(&sanitized, &freqs);
         println!("\n== {label}");
-        println!("|Δs| mean {:.4} max {:.4}",
+        println!(
+            "|Δs| mean {:.4} max {:.4}",
             delta.iter().map(|d| d.abs()).sum::<f64>() / 30.0,
-            delta.iter().map(|d| d.abs()).fold(f64::MIN, f64::max));
+            delta.iter().map(|d| d.abs()).fold(f64::MIN, f64::max)
+        );
         // correlation between |Δs| and weight
         let corr = mpdf_rfmath::fit::pearson(
             &delta.iter().map(|d| d.abs()).collect::<Vec<_>>(),
@@ -89,7 +93,10 @@ fn main() {
     }
 
     // Empty windows with/without background.
-    for (label, bg) in [("empty quiet", None), ("empty + background", Some(Vec2::new(1.0, 5.4)))] {
+    for (label, bg) in [
+        ("empty quiet", None),
+        ("empty + background", Some(Vec2::new(1.0, 5.4))),
+    ] {
         let window = match bg {
             None => rx.capture_static(None, 25).unwrap(),
             Some(p) => {

@@ -86,8 +86,22 @@ fn write_csv(dir: &Option<std::path::PathBuf>, name: &str, contents: String) {
 fn main() {
     let opts = parse_args();
     let all = [
-        "fig2a", "fig2b", "fig3", "fig4", "fig5b", "fig5c", "fig7", "fig8", "fig9", "fig10",
-        "fig11", "fig12", "ext-hmm", "ext-array", "ext-ablate", "ext-sweep",
+        "fig2a",
+        "fig2b",
+        "fig3",
+        "fig4",
+        "fig5b",
+        "fig5c",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "ext-hmm",
+        "ext-array",
+        "ext-ablate",
+        "ext-sweep",
     ];
     let selected: Vec<&str> = if opts.experiments.iter().any(|e| e == "all") {
         all.to_vec()
@@ -99,72 +113,141 @@ fn main() {
         let csv = &opts.csv_dir;
         let report = match name {
             "fig2a" => {
-                let r = exp::fig2::run_fig2a(&opts.cfg, opts.locations);
-                write_csv(csv, "fig2a_cdf", mpdf_eval::report::csv_series("delta_s_db", "cdf", &r.cdf));
+                let r = exp::fig2::run_fig2a(&opts.cfg, opts.locations).expect("fig2a");
+                write_csv(
+                    csv,
+                    "fig2a_cdf",
+                    mpdf_eval::report::csv_series("delta_s_db", "cdf", &r.cdf),
+                );
                 exp::fig2::report_fig2a(&r)
             }
             "fig2b" => {
-                let r = exp::fig2::run_fig2b(&opts.cfg, opts.packets);
-                write_csv(csv, "fig2b_drop_slot", mpdf_eval::report::csv_series("packet", "ds_db", &r.subcarrier_a));
-                write_csv(csv, "fig2b_rise_slot", mpdf_eval::report::csv_series("packet", "ds_db", &r.subcarrier_b));
+                let r = exp::fig2::run_fig2b(&opts.cfg, opts.packets).expect("fig2b");
+                write_csv(
+                    csv,
+                    "fig2b_drop_slot",
+                    mpdf_eval::report::csv_series("packet", "ds_db", &r.subcarrier_a),
+                );
+                write_csv(
+                    csv,
+                    "fig2b_rise_slot",
+                    mpdf_eval::report::csv_series("packet", "ds_db", &r.subcarrier_b),
+                );
                 exp::fig2::report_fig2b(&r)
             }
             "fig3" => {
-                let r = exp::fig3::run(&opts.cfg, opts.locations);
-                write_csv(csv, "fig3a_cdf", mpdf_eval::report::csv_series("mu", "cdf", &r.distribution.cdf));
+                let r = exp::fig3::run(&opts.cfg, opts.locations).expect("fig3");
+                write_csv(
+                    csv,
+                    "fig3a_cdf",
+                    mpdf_eval::report::csv_series("mu", "cdf", &r.distribution.cdf),
+                );
                 let mut rows = vec![vec!["slot".into(), "a".into(), "b".into(), "r2".into()]];
                 for f in &r.fits {
-                    rows.push(vec![f.slot.to_string(), f.fit.slope.to_string(), f.fit.intercept.to_string(), f.fit.r_squared.to_string()]);
+                    rows.push(vec![
+                        f.slot.to_string(),
+                        f.fit.slope.to_string(),
+                        f.fit.intercept.to_string(),
+                        f.fit.r_squared.to_string(),
+                    ]);
                 }
                 write_csv(csv, "fig3c_fits", mpdf_eval::report::csv(&rows));
                 exp::fig3::report(&r)
             }
-            "fig4" => exp::fig4::report(&exp::fig4::run(&opts.cfg, 2000)),
+            "fig4" => exp::fig4::report(&exp::fig4::run(&opts.cfg, 2000).expect("fig4")),
             "fig5b" => {
-                let r = exp::fig5::run_fig5b(&opts.cfg);
-                write_csv(csv, "fig5b_spectrum", mpdf_eval::report::csv_series("angle_deg", "ps", &r.spectrum));
+                let r = exp::fig5::run_fig5b(&opts.cfg).expect("fig5b");
+                write_csv(
+                    csv,
+                    "fig5b_spectrum",
+                    mpdf_eval::report::csv_series("angle_deg", "ps", &r.spectrum),
+                );
                 exp::fig5::report_fig5b(&r)
             }
             "fig5c" => {
-                let r = exp::fig5::run_fig5c(&opts.cfg);
-                write_csv(csv, "fig5c_rss_by_angle", mpdf_eval::report::csv_series("angle_deg", "mean_abs_ds_db", &r.rss_change_by_angle));
+                let r = exp::fig5::run_fig5c(&opts.cfg).expect("fig5c");
+                write_csv(
+                    csv,
+                    "fig5c_rss_by_angle",
+                    mpdf_eval::report::csv_series(
+                        "angle_deg",
+                        "mean_abs_ds_db",
+                        &r.rss_change_by_angle,
+                    ),
+                );
                 exp::fig5::report_fig5c(&r)
             }
             "fig7" => {
                 let r = exp::fig7::run(&opts.cfg).expect("fig7");
                 for s in &r.schemes {
                     let tag = s.name.replace(['+', ' '], "_");
-                    write_csv(csv, &format!("fig7_roc_{tag}"), mpdf_eval::report::csv_series("fp", "tp", &s.roc_points));
+                    write_csv(
+                        csv,
+                        &format!("fig7_roc_{tag}"),
+                        mpdf_eval::report::csv_series("fp", "tp", &s.roc_points),
+                    );
                 }
                 exp::fig7::report(&r)
             }
             "fig8" => {
                 let r = exp::fig8::run(&opts.cfg).expect("fig8");
-                let mut rows = vec![vec!["case".into(), "baseline".into(), "subcarrier".into(), "combined".into()]];
+                let mut rows = vec![vec![
+                    "case".into(),
+                    "baseline".into(),
+                    "subcarrier".into(),
+                    "combined".into(),
+                ]];
                 for (id, b, s2, c) in &r.rows {
-                    rows.push(vec![id.to_string(), b.to_string(), s2.to_string(), c.to_string()]);
+                    rows.push(vec![
+                        id.to_string(),
+                        b.to_string(),
+                        s2.to_string(),
+                        c.to_string(),
+                    ]);
                 }
                 write_csv(csv, "fig8_cases", mpdf_eval::report::csv(&rows));
                 exp::fig8::report(&r)
             }
             "fig9" => {
                 let r = exp::fig9::run(&opts.cfg).expect("fig9");
-                let mut rows = vec![vec!["distance_m".into(), "baseline".into(), "subcarrier".into(), "combined".into()]];
+                let mut rows = vec![vec![
+                    "distance_m".into(),
+                    "baseline".into(),
+                    "subcarrier".into(),
+                    "combined".into(),
+                ]];
                 for (d, b, s2, c) in &r.rows {
-                    rows.push(vec![d.to_string(), b.to_string(), s2.to_string(), c.to_string()]);
+                    rows.push(vec![
+                        d.to_string(),
+                        b.to_string(),
+                        s2.to_string(),
+                        c.to_string(),
+                    ]);
                 }
                 write_csv(csv, "fig9_distance", mpdf_eval::report::csv(&rows));
                 exp::fig9::report(&r)
             }
             "fig10" => {
-                let r = exp::fig10::run(&opts.cfg);
-                write_csv(csv, "fig10_single_packet", mpdf_eval::report::csv_series("error_deg", "cdf", &r.single_packet_cdf));
-                write_csv(csv, "fig10_averaged", mpdf_eval::report::csv_series("error_deg", "cdf", &r.averaged_cdf));
+                let r = exp::fig10::run(&opts.cfg).expect("fig10");
+                write_csv(
+                    csv,
+                    "fig10_single_packet",
+                    mpdf_eval::report::csv_series("error_deg", "cdf", &r.single_packet_cdf),
+                );
+                write_csv(
+                    csv,
+                    "fig10_averaged",
+                    mpdf_eval::report::csv_series("error_deg", "cdf", &r.averaged_cdf),
+                );
                 exp::fig10::report(&r)
             }
             "fig11" => {
                 let r = exp::fig11::run(&opts.cfg).expect("fig11");
-                let mut rows = vec![vec!["angle_deg".into(), "subcarrier".into(), "combined".into()]];
+                let mut rows = vec![vec![
+                    "angle_deg".into(),
+                    "subcarrier".into(),
+                    "combined".into(),
+                ]];
                 for (a, s2, c) in &r.rows {
                     rows.push(vec![a.to_string(), s2.to_string(), c.to_string()]);
                 }
@@ -173,15 +256,29 @@ fn main() {
             }
             "fig12" => {
                 let r = exp::fig12::run(&opts.cfg).expect("fig12");
-                let mut rows = vec![vec!["packets".into(), "seconds".into(), "baseline".into(), "subcarrier".into(), "combined".into()]];
+                let mut rows = vec![vec![
+                    "packets".into(),
+                    "seconds".into(),
+                    "baseline".into(),
+                    "subcarrier".into(),
+                    "combined".into(),
+                ]];
                 for (w, t, b, s2, c) in &r.rows {
-                    rows.push(vec![w.to_string(), t.to_string(), b.to_string(), s2.to_string(), c.to_string()]);
+                    rows.push(vec![
+                        w.to_string(),
+                        t.to_string(),
+                        b.to_string(),
+                        s2.to_string(),
+                        c.to_string(),
+                    ]);
                 }
                 write_csv(csv, "fig12_windows", mpdf_eval::report::csv(&rows));
                 exp::fig12::report(&r)
             }
             "ext-hmm" => exp::ext_hmm::report(&exp::ext_hmm::run(&opts.cfg).expect("ext-hmm")),
-            "ext-array" => exp::ext_array::report(&exp::ext_array::run(&opts.cfg)),
+            "ext-array" => {
+                exp::ext_array::report(&exp::ext_array::run(&opts.cfg).expect("ext-array"))
+            }
             "ext-sweep" => {
                 exp::ext_sweep::report(&exp::ext_sweep::run(&opts.cfg).expect("ext-sweep"))
             }

@@ -10,6 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use mpdf_core::error::DetectError;
 use mpdf_core::profile::{CalibrationProfile, DetectorConfig};
 use mpdf_core::scheme::{DetectionScheme, SubcarrierAndPathWeighting};
 use mpdf_core::threshold::{static_score_distribution, threshold_for_fp};
@@ -52,8 +53,8 @@ fn receiver_with_elements(
     cfg: &CampaignConfig,
     elements: usize,
     seed: u64,
-) -> (CsiReceiver, DetectorConfig) {
-    let channel = ChannelModel::new(case.environment.clone(), case.tx, case.rx).unwrap();
+) -> Result<(CsiReceiver, DetectorConfig), DetectError> {
+    let channel = ChannelModel::new(case.environment.clone(), case.tx, case.rx)?;
     let axis = (case.tx - case.rx)
         .normalized()
         .unwrap_or(Vec2::new(1.0, 0.0))
@@ -71,7 +72,7 @@ fn receiver_with_elements(
         session_gain_drift_db: cfg.session_gain_drift_db,
         ..ReceiverConfig::default()
     };
-    let receiver = CsiReceiver::with_config(channel, rx_cfg, seed).unwrap();
+    let receiver = CsiReceiver::with_config(channel, rx_cfg, seed)?;
     let detector = DetectorConfig {
         band,
         steering: UlaSteering::new(elements, 0.5),
@@ -79,12 +80,12 @@ fn receiver_with_elements(
         num_sources: (elements - 1).min(3),
         ..cfg.detector.clone()
     };
-    (receiver, detector)
+    Ok((receiver, detector))
 }
 
-fn study(elements: usize, cfg: &CampaignConfig) -> ArrayOutcome {
+fn study(elements: usize, cfg: &CampaignConfig) -> Result<ArrayOutcome, DetectError> {
     let case = wall_adjacent_case();
-    let (mut receiver, detector) = receiver_with_elements(&case, cfg, elements, cfg.seed ^ 0xEA);
+    let (mut receiver, detector) = receiver_with_elements(&case, cfg, elements, cfg.seed ^ 0xEA)?;
 
     // --- Angle errors (Fig. 10 metric) ---
     let steering = UlaSteering::new(elements, 0.5);
@@ -98,7 +99,7 @@ fn study(elements: usize, cfg: &CampaignConfig) -> ArrayOutcome {
             body: HumanBody::new(pos),
             trajectory: &sway,
         }];
-        let window = receiver.capture_actors(&actors, detector.window).unwrap();
+        let window = receiver.capture_actors(&actors, detector.window)?;
         let snaps: Vec<Vec<mpdf_rfmath::Complex64>> = window
             .iter()
             .flat_map(|p| {
@@ -113,7 +114,7 @@ fn study(elements: usize, cfg: &CampaignConfig) -> ArrayOutcome {
             if let Some(best) = angles
                 .iter()
                 .map(|a| (a - truth).abs())
-                .min_by(|a, b| a.partial_cmp(b).unwrap())
+                .min_by(f64::total_cmp)
             {
                 errors.push(best);
             }
@@ -122,17 +123,14 @@ fn study(elements: usize, cfg: &CampaignConfig) -> ArrayOutcome {
     let median_angle_error_deg = median(&errors);
 
     // --- Large-angle detection (Fig. 11 metric) ---
-    let calibration = receiver
-        .capture_static(None, cfg.calibration_packets)
-        .unwrap();
-    let profile = CalibrationProfile::build(&calibration, &detector).unwrap();
+    let calibration = receiver.capture_static(None, cfg.calibration_packets)?;
+    let profile = CalibrationProfile::build(&calibration, &detector)?;
     let nulls = static_score_distribution(
         &profile,
-        &receiver.capture_sessions(None, detector.window, 10).unwrap(),
+        &receiver.capture_sessions(None, detector.window, 10)?,
         &SubcarrierAndPathWeighting,
         &detector,
-    )
-    .unwrap();
+    )?;
     let thr = threshold_for_fp(&nulls, 0.1);
     let mut scores = Vec::new();
     let big: Vec<f64> = [-75.0, -60.0, -45.0, 45.0, 60.0, 75.0].to_vec();
@@ -144,26 +142,28 @@ fn study(elements: usize, cfg: &CampaignConfig) -> ArrayOutcome {
                 body: HumanBody::new(pos),
                 trajectory: &sway,
             }];
-            let window = receiver.capture_actors(&actors, detector.window).unwrap();
-            scores.push(
-                SubcarrierAndPathWeighting
-                    .score(&profile, &window, &detector)
-                    .unwrap(),
-            );
+            let window = receiver.capture_actors(&actors, detector.window)?;
+            scores.push(SubcarrierAndPathWeighting.score(&profile, &window, &detector)?);
         }
     }
-    ArrayOutcome {
+    Ok(ArrayOutcome {
         elements,
         median_angle_error_deg,
         large_angle_tp: detection_rate(&scores, thr),
-    }
+    })
 }
 
 /// Runs the array-scaling study for 3–8 elements.
-pub fn run(cfg: &CampaignConfig) -> ExtArrayResult {
-    ExtArrayResult {
-        rows: [3usize, 4, 6, 8].iter().map(|&n| study(n, cfg)).collect(),
-    }
+///
+/// # Errors
+/// Propagates trace and capture errors for invalid links.
+pub fn run(cfg: &CampaignConfig) -> Result<ExtArrayResult, DetectError> {
+    Ok(ExtArrayResult {
+        rows: [3usize, 4, 6, 8]
+            .iter()
+            .map(|&n| study(n, cfg))
+            .collect::<Result<Vec<_>, _>>()?,
+    })
 }
 
 /// Renders the report.

@@ -103,10 +103,7 @@ pub fn run(cfg: &CampaignConfig) -> Result<ExtHmmResult, mpdf_core::error::Detec
     Ok(ExtHmmResult {
         fp,
         tp,
-        balanced: (
-            (tp.0 + 1.0 - fp.0) / 2.0,
-            (tp.1 + 1.0 - fp.1) / 2.0,
-        ),
+        balanced: ((tp.0 + 1.0 - fp.0) / 2.0, (tp.1 + 1.0 - fp.1) / 2.0),
         windows: scores.len(),
     })
 }

@@ -62,13 +62,17 @@ struct ChannelCtx {
 /// actually stress a detector.
 fn study_case() -> crate::scenario::LinkCase {
     let mut cases = five_cases();
-    cases.sort_by(|a, b| b.link_length().partial_cmp(&a.link_length()).unwrap());
+    cases.sort_by(|a, b| b.link_length().total_cmp(&a.link_length()));
     cases.remove(0)
 }
 
-fn channel_ctx(channel: u8, cfg: &CampaignConfig, seed: u64) -> ChannelCtx {
+fn channel_ctx(
+    channel: u8,
+    cfg: &CampaignConfig,
+    seed: u64,
+) -> Result<ChannelCtx, mpdf_core::error::DetectError> {
     let case = study_case();
-    let link = ChannelModel::new(case.environment.clone(), case.tx, case.rx).unwrap();
+    let link = ChannelModel::new(case.environment.clone(), case.tx, case.rx)?;
     let band = Band::new(
         channel_center_hz(channel),
         INTEL5300_SUBCARRIER_INDICES.to_vec(),
@@ -92,25 +96,23 @@ fn channel_ctx(channel: u8, cfg: &CampaignConfig, seed: u64) -> ChannelCtx {
         session_gain_drift_db: cfg.session_gain_drift_db,
         ..ReceiverConfig::default()
     };
-    let mut receiver = CsiReceiver::with_config(link.clone(), rx_cfg, seed).unwrap();
+    let mut receiver = CsiReceiver::with_config(link.clone(), rx_cfg, seed)?;
     let detector = DetectorConfig {
         band: band.clone(),
         ..cfg.detector.clone()
     };
-    let calibration = receiver
-        .capture_static(None, cfg.calibration_packets)
-        .unwrap();
-    let profile = CalibrationProfile::build(&calibration, &detector).unwrap();
+    let calibration = receiver.capture_static(None, cfg.calibration_packets)?;
+    let profile = CalibrationProfile::build(&calibration, &detector)?;
     let d = link.link_length();
     let model = link.pathloss();
     let fc = band.center_hz();
     let predicted_power = model.power_gain(d, fc) / model.power_gain(1.0, fc);
-    ChannelCtx {
+    Ok(ChannelCtx {
         receiver,
         profile,
         detector,
         predicted_power,
-    }
+    })
 }
 
 /// Mean per-sample power of a window (normalized units).
@@ -128,7 +130,7 @@ pub fn run(cfg: &CampaignConfig) -> Result<ExtSweepResult, mpdf_core::error::Det
     let mut channels: Vec<ChannelCtx> = [1u8, 6, 11]
         .iter()
         .map(|&ch| channel_ctx(ch, cfg, cfg.seed ^ (ch as u64) << 4))
-        .collect();
+        .collect::<Result<Vec<_>, _>>()?;
 
     // Build the evaluation windows: each grid position (episodes×) plus
     // matched negatives — captured simultaneously on all three channels
@@ -139,8 +141,7 @@ pub fn run(cfg: &CampaignConfig) -> Result<ExtSweepResult, mpdf_core::error::Det
 
     // Hard positives: the Fig. 9 distance rings (1–5 m from the RX),
     // where adaptivity actually matters.
-    let rings =
-        crate::scenario::distance_ring_positions(&case, &[1.0, 2.0, 3.0, 4.0, 5.0]);
+    let rings = crate::scenario::distance_ring_positions(&case, &[1.0, 2.0, 3.0, 4.0, 5.0]);
     let mut episodes: Vec<Option<mpdf_geom::vec2::Point>> = Vec::new();
     for (_, pos) in &rings {
         for _ in 0..cfg.episodes_per_position.min(2) {
@@ -162,14 +163,9 @@ pub fn run(cfg: &CampaignConfig) -> Result<ExtSweepResult, mpdf_core::error::Det
                         body: HumanBody::new(*pos),
                         trajectory: &sway,
                     }];
-                    ctx.receiver
-                        .capture_actors(&actors, cfg.detector.window)
-                        .expect("capture")
+                    ctx.receiver.capture_actors(&actors, cfg.detector.window)?
                 }
-                None => ctx
-                    .receiver
-                    .capture_static(None, cfg.detector.window)
-                    .expect("capture"),
+                None => ctx.receiver.capture_static(None, cfg.detector.window)?,
             };
             windows.push(window);
         }
@@ -186,11 +182,13 @@ pub fn run(cfg: &CampaignConfig) -> Result<ExtSweepResult, mpdf_core::error::Det
         //    airtime is modelled, not charged, but counted as overhead.
         let deepest = (0..3)
             .max_by(|&a, &b| {
-                let fa = fade_level_db(window_power(&windows[a]), channels[a].predicted_power).abs();
-                let fb = fade_level_db(window_power(&windows[b]), channels[b].predicted_power).abs();
-                fa.partial_cmp(&fb).unwrap()
+                let fa =
+                    fade_level_db(window_power(&windows[a]), channels[a].predicted_power).abs();
+                let fb =
+                    fade_level_db(window_power(&windows[b]), channels[b].predicted_power).abs();
+                fa.total_cmp(&fb)
             })
-            .unwrap();
+            .unwrap_or(0);
         let ctx = &channels[deepest];
         swept.push(LabeledScore {
             score: Baseline.score(&ctx.profile, &windows[deepest], &ctx.detector)?,

@@ -52,9 +52,12 @@ fn snapshots(packets: &[CsiPacket], indices: &[i32]) -> Vec<Vec<Complex64>> {
 /// scatters toward the receiver; MUSIC estimates the scatter angle from
 /// one packet and from a full window; errors are compared against the
 /// geometric ground truth.
-pub fn run(cfg: &CampaignConfig) -> Fig10Result {
+///
+/// # Errors
+/// Propagates trace and capture errors for invalid links.
+pub fn run(cfg: &CampaignConfig) -> Result<Fig10Result, mpdf_core::error::DetectError> {
     let case = wall_adjacent_case();
-    let mut receiver = case_receiver(&case, cfg, cfg.seed ^ 0xA10).expect("valid link");
+    let mut receiver = case_receiver(&case, cfg, cfg.seed ^ 0xA10)?;
     let steering = UlaSteering::three_half_wavelength();
     let grid = AngleGrid::full_front(1.0);
 
@@ -71,9 +74,7 @@ pub fn run(cfg: &CampaignConfig) -> Fig10Result {
             trajectory: &sway,
         }];
         for episode in 0..cfg.episodes_per_position {
-            let window = receiver
-                .capture_actors(&actors, cfg.detector.window)
-                .expect("capture");
+            let window = receiver.capture_actors(&actors, cfg.detector.window)?;
             // MUSIC with 2 sources: the LOS (0°) and the human's scatter.
             // Error = distance from the truth to the *closest* estimate,
             // as the paper matches peaks to paths.
@@ -99,27 +100,33 @@ pub fn run(cfg: &CampaignConfig) -> Fig10Result {
 
     let single = Ecdf::new(&single_errors);
     let averaged = Ecdf::new(&averaged_errors);
-    Fig10Result {
+    Ok(Fig10Result {
         single_packet_cdf: single.curve(31),
         averaged_cdf: averaged.curve(31),
         medians: (single.quantile(0.5), averaged.quantile(0.5)),
         p90: (single.quantile(0.9), averaged.quantile(0.9)),
-    }
+    })
 }
 
 /// Renders the report.
 pub fn report(r: &Fig10Result) -> String {
     let mut out = String::from("Fig. 10 — angle estimation errors (3-antenna MUSIC)\n");
     out.push_str("single packet:\n");
-    out.push_str(&crate::report::series("error [deg]", "CDF", &r.single_packet_cdf));
+    out.push_str(&crate::report::series(
+        "error [deg]",
+        "CDF",
+        &r.single_packet_cdf,
+    ));
     out.push_str("window averaged:\n");
-    out.push_str(&crate::report::series("error [deg]", "CDF", &r.averaged_cdf));
+    out.push_str(&crate::report::series(
+        "error [deg]",
+        "CDF",
+        &r.averaged_cdf,
+    ));
     out.push_str(&format!(
         "median error: single {:.1}°, averaged {:.1}°; p90: single {:.1}°, averaged {:.1}°\n",
         r.medians.0, r.medians.1, r.p90.0, r.p90.1
     ));
-    out.push_str(
-        "paper: median errors can exceed 20°; averaging helps moderately, tails remain\n",
-    );
+    out.push_str("paper: median errors can exceed 20°; averaging helps moderately, tails remain\n");
     out
 }

@@ -38,10 +38,8 @@ pub fn run(cfg: &CampaignConfig) -> Result<Fig11Result, mpdf_core::error::Detect
     let thr_c = CampaignScores::balanced_threshold(&shared.combined);
 
     let case = &five_cases()[0];
-    let mut receiver = case_receiver(case, cfg, cfg.seed ^ 0xB11).expect("valid link");
-    let calibration = receiver
-        .capture_static(None, cfg.calibration_packets)
-        .expect("capture");
+    let mut receiver = case_receiver(case, cfg, cfg.seed ^ 0xB11)?;
+    let calibration = receiver.capture_static(None, cfg.calibration_packets)?;
     let profile = mpdf_core::profile::CalibrationProfile::build(&calibration, &cfg.detector)?;
 
     let fan: Vec<f64> = (-6..=6).map(|i| i as f64 * 15.0).collect();
@@ -56,9 +54,7 @@ pub fn run(cfg: &CampaignConfig) -> Result<Fig11Result, mpdf_core::error::Detect
                 body: HumanBody::new(pos),
                 trajectory: &sway,
             }];
-            let window = receiver
-                .capture_actors(&actors, cfg.detector.window)
-                .expect("capture");
+            let window = receiver.capture_actors(&actors, cfg.detector.window)?;
             s_scores.push(SubcarrierWeighting.score(&profile, &window, &cfg.detector)?);
             c_scores.push(SubcarrierAndPathWeighting.score(&profile, &window, &cfg.detector)?);
         }

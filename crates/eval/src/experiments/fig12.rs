@@ -24,8 +24,13 @@ pub struct Fig12Result {
 }
 
 fn balanced_tp(scores: &[crate::workload::ScoredWindow]) -> f64 {
-    let labeled: Vec<LabeledScore> = scores.iter().map(|s| s.labeled()).collect();
-    RocCurve::from_scores(&labeled).balanced_operating_point().tp
+    let labeled: Vec<LabeledScore> = scores
+        .iter()
+        .map(super::super::workload::ScoredWindow::labeled)
+        .collect();
+    RocCurve::from_scores(&labeled)
+        .balanced_operating_point()
+        .tp
 }
 
 /// Runs Fig. 12 by re-running reduced campaigns at several window sizes.
@@ -51,8 +56,7 @@ pub fn run(cfg: &CampaignConfig) -> Result<Fig12Result, mpdf_core::error::Detect
     let saturation_window = rows
         .iter()
         .find(|r| r.4 >= best - 0.05)
-        .map(|r| r.0)
-        .unwrap_or(*windows.last().unwrap());
+        .map_or_else(|| windows.last().copied().unwrap_or(0), |r| r.0);
     Ok(Fig12Result {
         rows,
         saturation_window,

@@ -9,7 +9,8 @@
 
 use serde::{Deserialize, Serialize};
 
-use mpdf_geom::vec2::Point;
+use mpdf_core::error::DetectError;
+use mpdf_geom::vec2::{Point, Vec2};
 use mpdf_propagation::human::HumanBody;
 use mpdf_propagation::trajectory::LinearWalk;
 use mpdf_rfmath::stats::Ecdf;
@@ -36,9 +37,12 @@ pub struct Fig2aResult {
 }
 
 /// Runs Fig. 2a: 500 human locations on the 4 m classroom link.
-pub fn run_fig2a(cfg: &CampaignConfig, locations: usize) -> Fig2aResult {
+///
+/// # Errors
+/// Propagates trace and calibration errors from the sweep.
+pub fn run_fig2a(cfg: &CampaignConfig, locations: usize) -> Result<Fig2aResult, DetectError> {
     let case = measurement_case();
-    let (_, samples) = location_sweep(&case, cfg, locations, cfg.detector.window);
+    let (_, samples) = location_sweep(&case, cfg, locations, cfg.detector.window)?;
     let all: Vec<f64> = samples
         .iter()
         .flat_map(|s| s.delta_s_db.iter().copied())
@@ -46,12 +50,12 @@ pub fn run_fig2a(cfg: &CampaignConfig, locations: usize) -> Fig2aResult {
     let ecdf = Ecdf::new(&all);
     let drop_fraction = all.iter().filter(|&&d| d < -0.5).count() as f64 / all.len() as f64;
     let rise_fraction = all.iter().filter(|&&d| d > 0.5).count() as f64 / all.len() as f64;
-    Fig2aResult {
+    Ok(Fig2aResult {
         cdf: ecdf.curve(41),
         drop_fraction,
         rise_fraction,
         quantiles: (ecdf.quantile(0.1), ecdf.quantile(0.5), ecdf.quantile(0.9)),
-    }
+    })
 }
 
 /// Renders the Fig. 2a report.
@@ -89,12 +93,13 @@ pub struct Fig2bResult {
 
 /// Runs Fig. 2b: a person crosses the 4 m link while 1000 packets are
 /// captured.
-pub fn run_fig2b(cfg: &CampaignConfig, packets: usize) -> Fig2bResult {
+///
+/// # Errors
+/// Propagates trace and capture errors for invalid links.
+pub fn run_fig2b(cfg: &CampaignConfig, packets: usize) -> Result<Fig2bResult, DetectError> {
     let case = measurement_case();
-    let mut receiver = case_receiver(&case, cfg, cfg.seed ^ 0xF1B).expect("valid link");
-    let calibration = receiver
-        .capture_static(None, cfg.calibration_packets)
-        .expect("capture");
+    let mut receiver = case_receiver(&case, cfg, cfg.seed ^ 0xF1B)?;
+    let calibration = receiver.capture_static(None, cfg.calibration_packets)?;
     let sanitized_cal: Vec<CsiPacket> = calibration
         .iter()
         .map(|p| {
@@ -108,7 +113,10 @@ pub fn run_fig2b(cfg: &CampaignConfig, packets: usize) -> Fig2bResult {
     // Crossing: walk perpendicular through the link midpoint, 4 m wide,
     // for the duration of the capture.
     let mid = case.midpoint();
-    let across = (case.rx - case.tx).normalized().unwrap().perp();
+    let across = (case.rx - case.tx)
+        .normalized()
+        .unwrap_or(Vec2::new(1.0, 0.0))
+        .perp();
     let start = mid + across * 2.0;
     let end = mid - across * 2.0;
     let duration = packets as f64 / 50.0;
@@ -122,7 +130,7 @@ pub fn run_fig2b(cfg: &CampaignConfig, packets: usize) -> Fig2bResult {
         body,
         trajectory: &walk,
     }];
-    let stream = receiver.capture_actors(&actors, packets).expect("capture");
+    let stream = receiver.capture_actors(&actors, packets)?;
 
     // Per-packet Δs per subcarrier.
     let mut series: Vec<Vec<f64>> = (0..30).map(|_| Vec::with_capacity(packets)).collect();
@@ -130,10 +138,7 @@ pub fn run_fig2b(cfg: &CampaignConfig, packets: usize) -> Fig2bResult {
         let mut q = p.clone();
         sanitize_packet(&mut q, cfg.detector.band.indices());
         for (k, slot) in series.iter_mut().enumerate() {
-            let power = (0..q.antennas())
-                .map(|a| q.power(a, k))
-                .sum::<f64>()
-                / q.antennas() as f64;
+            let power = (0..q.antennas()).map(|a| q.power(a, k)).sum::<f64>() / q.antennas() as f64;
             let ds = if power <= f64::MIN_POSITIVE || static_power[k] <= f64::MIN_POSITIVE {
                 0.0
             } else {
@@ -148,11 +153,11 @@ pub fn run_fig2b(cfg: &CampaignConfig, packets: usize) -> Fig2bResult {
     let min_of = |v: &Vec<f64>| v.iter().cloned().fold(f64::MAX, f64::min);
     let max_of = |v: &Vec<f64>| v.iter().cloned().fold(f64::MIN, f64::max);
     let slot_a = (0..30)
-        .min_by(|&a, &b| min_of(&series[a]).partial_cmp(&min_of(&series[b])).unwrap())
-        .unwrap();
+        .min_by(|&a, &b| min_of(&series[a]).total_cmp(&min_of(&series[b])))
+        .unwrap_or(0);
     let slot_b = (0..30)
-        .max_by(|&a, &b| max_of(&series[a]).partial_cmp(&max_of(&series[b])).unwrap())
-        .unwrap();
+        .max_by(|&a, &b| max_of(&series[a]).total_cmp(&max_of(&series[b])))
+        .unwrap_or(0);
     let bidirectional = series
         .iter()
         .filter(|v| min_of(v) < -1.0 && max_of(v) > 1.0)
@@ -166,13 +171,13 @@ pub fn run_fig2b(cfg: &CampaignConfig, packets: usize) -> Fig2bResult {
             .map(|(i, &d)| (i as f64, d))
             .collect()
     };
-    Fig2bResult {
+    Ok(Fig2bResult {
         subcarrier_a: down(slot_a),
         subcarrier_b: down(slot_b),
         slots: (slot_a, slot_b),
         bidirectional_subcarriers: bidirectional,
         total_subcarriers: 30,
-    }
+    })
 }
 
 fn clamp_to_room(case: &crate::scenario::LinkCase, p: Point) -> Point {

@@ -7,6 +7,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use mpdf_core::error::DetectError;
 use mpdf_rfmath::fit::{log_fit, Fit};
 use mpdf_rfmath::stats::Ecdf;
 
@@ -67,9 +68,12 @@ fn fit_slot(samples: &[LocationSample], slot: usize) -> SubcarrierFit {
 }
 
 /// Runs the Fig. 3 experiments on the §III measurement link.
-pub fn run(cfg: &CampaignConfig, locations: usize) -> Fig3Result {
+///
+/// # Errors
+/// Propagates trace and calibration errors from the sweep.
+pub fn run(cfg: &CampaignConfig, locations: usize) -> Result<Fig3Result, DetectError> {
     let case = measurement_case();
-    let (_, samples) = location_sweep(&case, cfg, locations, cfg.detector.window);
+    let (_, samples) = location_sweep(&case, cfg, locations, cfg.detector.window)?;
 
     let all_mu: Vec<f64> = samples.iter().flat_map(|s| s.mu.iter().copied()).collect();
     let ecdf = Ecdf::new(&all_mu);
@@ -94,12 +98,12 @@ pub fn run(cfg: &CampaignConfig, locations: usize) -> Fig3Result {
     let slots = [1usize, 7, 14, 21, 28];
     let fits: Vec<SubcarrierFit> = slots.iter().map(|&s| fit_slot(&samples, s)).collect();
     let falling = fits.iter().filter(|f| f.fit.slope < 0.0).count();
-    Fig3Result {
+    Ok(Fig3Result {
         distribution,
         showcase,
         falling_fraction: falling as f64 / fits.len() as f64,
         fits,
-    }
+    })
 }
 
 /// Renders the Fig. 3 report.

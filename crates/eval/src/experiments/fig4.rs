@@ -8,6 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use mpdf_core::error::DetectError;
 use mpdf_core::multipath_factor::multipath_factors;
 use mpdf_core::subcarrier_weight::SubcarrierWeights;
 use mpdf_geom::vec2::{Point, Vec2};
@@ -42,20 +43,23 @@ pub struct Fig4Result {
     pub locations: Vec<LocationStability>,
 }
 
-fn measure(case_idx: usize, position: Point, cfg: &CampaignConfig, packets: usize) -> LocationStability {
+fn measure(
+    case_idx: usize,
+    position: Point,
+    cfg: &CampaignConfig,
+    packets: usize,
+) -> Result<LocationStability, DetectError> {
     let case = &five_cases()[case_idx];
-    let mut receiver = case_receiver(case, cfg, cfg.seed ^ 0x414).expect("valid link");
+    let mut receiver = case_receiver(case, cfg, cfg.seed ^ 0x414)?;
     // Warm the static profile (not otherwise used here) so captures run in
     // monitoring conditions.
-    let _ = receiver
-        .capture_static(None, cfg.calibration_packets.min(200))
-        .expect("capture");
+    let _ = receiver.capture_static(None, cfg.calibration_packets.min(200))?;
     let sway = StaticSway::new(position, cfg.sway_amplitude);
     let actors = [Actor {
         body: HumanBody::new(position),
         trajectory: &sway,
     }];
-    let stream = receiver.capture_actors(&actors, packets).expect("capture");
+    let stream = receiver.capture_actors(&actors, packets)?;
     let freqs = cfg.detector.band.frequencies();
 
     let per_packet: Vec<Vec<f64>> = stream
@@ -95,7 +99,7 @@ fn measure(case_idx: usize, position: Point, cfg: &CampaignConfig, packets: usiz
         .map(|mus| {
             mus.iter()
                 .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .max_by(|a, b| a.1.total_cmp(b.1))
                 .map(|(i, _)| i)
                 .unwrap_or(0)
         })
@@ -112,30 +116,36 @@ fn measure(case_idx: usize, position: Point, cfg: &CampaignConfig, packets: usiz
         .unwrap_or(0);
     let flips = argmaxes.iter().filter(|&&a| a != modal).count();
 
-    LocationStability {
+    Ok(LocationStability {
         position,
         mean_mu,
         std_mu,
         stability: weights.stability,
         argmax_flip_rate: flips as f64 / argmaxes.len() as f64,
-    }
+    })
 }
 
 /// Runs Fig. 4 on the short (3 m) classroom link with two distinct human
 /// locations.
-pub fn run(cfg: &CampaignConfig, packets: usize) -> Fig4Result {
+///
+/// # Errors
+/// Propagates trace and capture errors for invalid links.
+pub fn run(cfg: &CampaignConfig, packets: usize) -> Result<Fig4Result, DetectError> {
     // Case 3 is the short link. One location near the LOS, one beside it.
     let case = &five_cases()[2];
     let mid = case.midpoint();
-    let across = (case.rx - case.tx).normalized().unwrap().perp();
+    let across = (case.rx - case.tx)
+        .normalized()
+        .unwrap_or(Vec2::new(1.0, 0.0))
+        .perp();
     let loc1 = mid;
     let loc2 = mid + across * (-1.2);
-    Fig4Result {
+    Ok(Fig4Result {
         locations: vec![
-            measure(2, loc1, cfg, packets),
-            measure(2, Vec2::new(loc2.x, loc2.y), cfg, packets),
+            measure(2, loc1, cfg, packets)?,
+            measure(2, Vec2::new(loc2.x, loc2.y), cfg, packets)?,
         ],
-    }
+    })
 }
 
 /// Renders the Fig. 4 report.
@@ -145,7 +155,7 @@ pub fn report(r: &Fig4Result) -> String {
         out.push_str(&format!("\nlocation {} at {}\n", i + 1, loc.position));
         // Top-5 subcarriers by mean μ with their variability.
         let mut order: Vec<usize> = (0..loc.mean_mu.len()).collect();
-        order.sort_by(|&a, &b| loc.mean_mu[b].partial_cmp(&loc.mean_mu[a]).unwrap());
+        order.sort_by(|&a, &b| loc.mean_mu[b].total_cmp(&loc.mean_mu[a]));
         let rows: Vec<Vec<String>> = order
             .iter()
             .take(5)

@@ -8,8 +8,9 @@
 
 use serde::{Deserialize, Serialize};
 
+use mpdf_core::error::DetectError;
 use mpdf_core::profile::CalibrationProfile;
-use mpdf_geom::vec2::Point;
+use mpdf_geom::vec2::{Point, Vec2};
 use mpdf_propagation::channel::ChannelModel;
 use mpdf_propagation::human::HumanBody;
 use mpdf_propagation::path::PathKind;
@@ -51,13 +52,14 @@ pub struct Fig5bResult {
 }
 
 /// Runs Fig. 5b: the static pseudospectrum of the wall-adjacent link.
-pub fn run_fig5b(cfg: &CampaignConfig) -> Fig5bResult {
+///
+/// # Errors
+/// Propagates trace and calibration errors for invalid links.
+pub fn run_fig5b(cfg: &CampaignConfig) -> Result<Fig5bResult, DetectError> {
     let case = wall_adjacent_case();
-    let mut receiver = case_receiver(&case, cfg, cfg.seed ^ 0x5B).expect("valid link");
-    let calibration = receiver
-        .capture_static(None, cfg.calibration_packets)
-        .expect("capture");
-    let profile = CalibrationProfile::build(&calibration, &cfg.detector).expect("profile");
+    let mut receiver = case_receiver(&case, cfg, cfg.seed ^ 0x5B)?;
+    let calibration = receiver.capture_static(None, cfg.calibration_packets)?;
+    let profile = CalibrationProfile::build(&calibration, &cfg.detector)?;
     let norm = profile.static_spectrum().normalized();
     let spectrum: Vec<(f64, f64)> = norm
         .angles_deg()
@@ -70,9 +72,11 @@ pub fn run_fig5b(cfg: &CampaignConfig) -> Fig5bResult {
 
     // Ground truth from the propagation model: incidence angles of the
     // two strongest paths on the receiver array (broadside faces the TX).
-    let channel = ChannelModel::new(case.environment.clone(), case.tx, case.rx).unwrap();
-    let snap = channel.snapshot(None).unwrap();
-    let broadside = (case.tx - case.rx).normalized().unwrap();
+    let channel = ChannelModel::new(case.environment.clone(), case.tx, case.rx)?;
+    let snap = channel.snapshot(None)?;
+    let broadside = (case.tx - case.rx)
+        .normalized()
+        .unwrap_or(Vec2::new(1.0, 0.0));
     let mut paths: Vec<(f64, f64)> = snap
         .paths()
         .iter()
@@ -85,20 +89,24 @@ pub fn run_fig5b(cfg: &CampaignConfig) -> Fig5bResult {
             })
         })
         .collect();
-    paths.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    paths.sort_by(|a, b| b.1.total_cmp(&a.1));
     let true_angles = paths.into_iter().take(2).map(|(a, _)| a).collect();
 
-    Fig5bResult {
+    Ok(Fig5bResult {
         spectrum,
         peaks,
         true_angles,
-    }
+    })
 }
 
 /// Renders the Fig. 5b report.
 pub fn report_fig5b(r: &Fig5bResult) -> String {
     let mut out = String::from("Fig. 5b — MUSIC pseudospectrum, wall-adjacent 3 m link\n");
-    out.push_str(&crate::report::series("angle [deg]", "Ps (norm.)", &r.spectrum));
+    out.push_str(&crate::report::series(
+        "angle [deg]",
+        "Ps (norm.)",
+        &r.spectrum,
+    ));
     out.push_str(&format!(
         "estimated peaks: {:?} deg; ground-truth strongest arrivals: {:?} deg\n",
         r.peaks
@@ -124,12 +132,13 @@ pub struct Fig5cResult {
 }
 
 /// Runs Fig. 5c: 16 human positions, −90°…90°, 1 m from the receiver.
-pub fn run_fig5c(cfg: &CampaignConfig) -> Fig5cResult {
+///
+/// # Errors
+/// Propagates trace and capture errors for invalid links.
+pub fn run_fig5c(cfg: &CampaignConfig) -> Result<Fig5cResult, DetectError> {
     let case = wall_adjacent_case();
-    let mut receiver = case_receiver(&case, cfg, cfg.seed ^ 0x5C).expect("valid link");
-    let calibration = receiver
-        .capture_static(None, cfg.calibration_packets)
-        .expect("capture");
+    let mut receiver = case_receiver(&case, cfg, cfg.seed ^ 0x5C)?;
+    let calibration = receiver.capture_static(None, cfg.calibration_packets)?;
     let sanitized: Vec<CsiPacket> = calibration
         .iter()
         .map(|p| {
@@ -149,9 +158,7 @@ pub fn run_fig5c(cfg: &CampaignConfig) -> Fig5cResult {
             body: HumanBody::new(pos),
             trajectory: &sway,
         }];
-        let window = receiver
-            .capture_actors(&actors, cfg.detector.window)
-            .expect("capture");
+        let window = receiver.capture_actors(&actors, cfg.detector.window)?;
         let sanitized: Vec<CsiPacket> = window
             .iter()
             .map(|p| {
@@ -179,13 +186,13 @@ pub fn run_fig5c(cfg: &CampaignConfig) -> Fig5cResult {
     let peak_angle_deg = series
         .iter()
         .cloned()
-        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .max_by(|a, b| a.1.total_cmp(&b.1))
         .map(|(a, _)| a)
         .unwrap_or(0.0);
-    Fig5cResult {
+    Ok(Fig5cResult {
         rss_change_by_angle: series,
         peak_angle_deg,
-    }
+    })
 }
 
 /// Renders the Fig. 5c report.
@@ -207,9 +214,13 @@ pub fn report_fig5c(r: &Fig5cResult) -> String {
 /// a strong first-order bottom-wall bounce?
 pub fn has_wall_reflection() -> bool {
     let case = wall_adjacent_case();
-    let channel = ChannelModel::new(case.environment, case.tx, case.rx).unwrap();
-    let snap = channel.snapshot(None).unwrap();
-    snap.paths().iter().any(|p| {
-        p.kind() == (PathKind::WallReflection { order: 1 }) && p.amplitude_factor() > 0.2
-    })
+    let Ok(channel) = ChannelModel::new(case.environment, case.tx, case.rx) else {
+        return false;
+    };
+    let Ok(snap) = channel.snapshot(None) else {
+        return false;
+    };
+    snap.paths()
+        .iter()
+        .any(|p| p.kind() == (PathKind::WallReflection { order: 1 }) && p.amplitude_factor() > 0.2)
 }

@@ -45,7 +45,7 @@ pub fn run(cfg: &CampaignConfig) -> Result<Fig9Result, mpdf_core::error::DetectE
     let cases = five_cases();
     // Use the two longest links so 5 m positions exist.
     let mut picked: Vec<_> = cases.iter().collect();
-    picked.sort_by(|a, b| b.link_length().partial_cmp(&a.link_length()).unwrap());
+    picked.sort_by(|a, b| b.link_length().total_cmp(&a.link_length()));
     let picked = &picked[..2];
 
     /// Scores per distance bin: `(distance, baseline, subcarrier, combined)`.
@@ -56,13 +56,9 @@ pub fn run(cfg: &CampaignConfig) -> Result<Fig9Result, mpdf_core::error::DetectE
         .collect();
 
     for case in picked {
-        let mut receiver = case_receiver(case, cfg, cfg.seed ^ 0x919 ^ case.id as u64)
-            .expect("valid link");
-        let calibration = receiver
-            .capture_static(None, cfg.calibration_packets)
-            .expect("capture");
-        let profile =
-            mpdf_core::profile::CalibrationProfile::build(&calibration, &cfg.detector)?;
+        let mut receiver = case_receiver(case, cfg, cfg.seed ^ 0x919 ^ case.id as u64)?;
+        let calibration = receiver.capture_static(None, cfg.calibration_packets)?;
+        let profile = mpdf_core::profile::CalibrationProfile::build(&calibration, &cfg.detector)?;
         for (d, pos) in distance_ring_positions(case, &distances) {
             for episode in 0..cfg.episodes_per_position {
                 receiver.resample_drift();
@@ -71,19 +67,21 @@ pub fn run(cfg: &CampaignConfig) -> Result<Fig9Result, mpdf_core::error::DetectE
                     body: HumanBody::new(pos),
                     trajectory: &sway,
                 }];
-                let window = receiver
-                    .capture_actors(&actors, cfg.detector.window)
-                    .expect("capture");
-                let slot = per_distance
+                let window = receiver.capture_actors(&actors, cfg.detector.window)?;
+                // `d` comes from iterating `distances`, so a bin always
+                // exists; skip defensively rather than panic.
+                let Some(slot) = per_distance
                     .iter_mut()
                     .find(|(dd, ..)| (*dd - d).abs() < 1e-9)
-                    .expect("distance bin");
-                slot.1.push(Baseline.score(&profile, &window, &cfg.detector)?);
+                else {
+                    continue;
+                };
+                slot.1
+                    .push(Baseline.score(&profile, &window, &cfg.detector)?);
                 slot.2
                     .push(SubcarrierWeighting.score(&profile, &window, &cfg.detector)?);
-                slot.3.push(
-                    SubcarrierAndPathWeighting.score(&profile, &window, &cfg.detector)?,
-                );
+                slot.3
+                    .push(SubcarrierAndPathWeighting.score(&profile, &window, &cfg.detector)?);
                 let _ = episode;
             }
         }
@@ -139,8 +137,6 @@ pub fn report(r: &Fig9Result) -> String {
         "range at ≥90% detection: baseline {:.0} m, subcarrier {:.0} m, sub+path {:.0} m\n",
         r.range_at_90.0, r.range_at_90.1, r.range_at_90.2
     ));
-    out.push_str(
-        "paper: baseline <60% at 5 m; weighted schemes >90% at 5 m (≈1× range gain)\n",
-    );
+    out.push_str("paper: baseline <60% at 5 m; weighted schemes >90% at 5 m (≈1× range gain)\n");
     out
 }

@@ -1,6 +1,7 @@
 //! Shared measurement sweeps used by the Fig. 2/3/4 link-characterization
 //! experiments.
 
+use mpdf_core::error::DetectError;
 use mpdf_core::multipath_factor::multipath_factors;
 use mpdf_core::profile::{CalibrationProfile, DetectorConfig};
 use mpdf_geom::vec2::{Point, Vec2};
@@ -42,7 +43,9 @@ fn location(case: &LinkCase, i: usize) -> Point {
     }
     let u = radical_inverse(2, i as u64 + 1);
     let v = radical_inverse(3, i as u64 + 1);
-    let along = (case.rx - case.tx).normalized().unwrap_or(Vec2::new(1.0, 0.0));
+    let along = (case.rx - case.tx)
+        .normalized()
+        .unwrap_or(Vec2::new(1.0, 0.0));
     let across = along.perp();
     let mid = case.midpoint();
     let length = case.link_length();
@@ -58,20 +61,18 @@ fn location(case: &LinkCase, i: usize) -> Point {
 /// Captures the static profile plus `n_locations` human-presence windows
 /// on a link, returning per-location `Δs` (dB) and `μ` vectors.
 ///
-/// # Panics
-/// Panics only on internal invariant violations (valid scenario links).
+/// # Errors
+/// Propagates trace and calibration errors for invalid links.
 pub fn location_sweep(
     case: &LinkCase,
     cfg: &CampaignConfig,
     n_locations: usize,
     window: usize,
-) -> (CalibrationProfile, Vec<LocationSample>) {
-    let mut receiver = case_receiver(case, cfg, cfg.seed ^ 0xF1C2).expect("valid link");
+) -> Result<(CalibrationProfile, Vec<LocationSample>), DetectError> {
+    let mut receiver = case_receiver(case, cfg, cfg.seed ^ 0xF1C2)?;
     let detector = &cfg.detector;
-    let calibration = receiver
-        .capture_static(None, cfg.calibration_packets)
-        .expect("static capture");
-    let profile = CalibrationProfile::build(&calibration, detector).expect("profile");
+    let calibration = receiver.capture_static(None, cfg.calibration_packets)?;
+    let profile = CalibrationProfile::build(&calibration, detector)?;
     let freqs = detector.band.frequencies();
 
     let samples = (0..n_locations)
@@ -82,7 +83,7 @@ pub fn location_sweep(
                 body: HumanBody::new(position),
                 trajectory: &sway,
             }];
-            let packets = receiver.capture_actors(&actors, window).expect("capture");
+            let packets = receiver.capture_actors(&actors, window)?;
             let sanitized: Vec<CsiPacket> = packets
                 .iter()
                 .map(|p| {
@@ -113,14 +114,14 @@ pub fn location_sweep(
             for v in &mut mu {
                 *v /= sanitized.len() as f64;
             }
-            LocationSample {
+            Ok(LocationSample {
                 position,
                 delta_s_db,
                 mu,
-            }
+            })
         })
-        .collect();
-    (profile, samples)
+        .collect::<Result<Vec<_>, DetectError>>()?;
+    Ok((profile, samples))
 }
 
 /// The §III measurement link: the paper's 4 m link in the classroom
@@ -169,7 +170,7 @@ mod tests {
             calibration_packets: 80,
             ..Default::default()
         };
-        let (_, samples) = location_sweep(&case, &cfg, 5, 10);
+        let (_, samples) = location_sweep(&case, &cfg, 5, 10).unwrap();
         assert_eq!(samples.len(), 5);
         for s in &samples {
             assert_eq!(s.delta_s_db.len(), 30);

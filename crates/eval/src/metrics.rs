@@ -42,7 +42,7 @@ impl RocCurve {
         );
         let mut sorted: Vec<LabeledScore> = scores.to_vec();
         // Descending by score: walking down the list lowers the threshold.
-        sorted.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        sorted.sort_by(|a, b| b.score.total_cmp(&a.score));
         let mut points = vec![RocPoint {
             threshold: f64::INFINITY,
             fp: 0.0,
@@ -93,9 +93,14 @@ impl RocCurve {
             .max_by(|a, b| {
                 let ba = a.tp + 1.0 - a.fp;
                 let bb = b.tp + 1.0 - b.fp;
-                ba.partial_cmp(&bb).unwrap_or(std::cmp::Ordering::Equal)
+                ba.total_cmp(&bb)
             })
-            .expect("curve has points")
+            // An empty sweep degrades to the "never detect" origin point.
+            .unwrap_or(&RocPoint {
+                threshold: 0.0,
+                fp: 0.0,
+                tp: 0.0,
+            })
     }
 
     /// Largest detection rate achievable at a false-positive rate not

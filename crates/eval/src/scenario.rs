@@ -152,12 +152,7 @@ pub fn office() -> Environment {
     // An angled lectern near the partition — real offices are not
     // axis-aligned.
     b.furniture_polygon(
-        mpdf_geom::polygon::ConvexPolygon::rotated_rectangle(
-            Point::new(3.2, 3.9),
-            1.2,
-            0.5,
-            0.6,
-        ),
+        mpdf_geom::polygon::ConvexPolygon::rotated_rectangle(Point::new(3.2, 3.9), 1.2, 0.5, 0.6),
         Material::WOOD,
     );
     b.build()
@@ -189,16 +184,46 @@ pub fn five_cases() -> Vec<LinkCase> {
     };
     vec![
         // Case 1: 4 m mid-room link (the §III measurement link).
-        mk(1, &cr, classroom_room(), Point::new(2.0, 3.0), Point::new(6.0, 3.0)),
+        mk(
+            1,
+            &cr,
+            classroom_room(),
+            Point::new(2.0, 3.0),
+            Point::new(6.0, 3.0),
+        ),
         // Case 2: 5.5 m diagonal-ish link near a wall.
-        mk(2, &cr, classroom_room(), Point::new(1.0, 1.2), Point::new(6.5, 1.6)),
+        mk(
+            2,
+            &cr,
+            classroom_room(),
+            Point::new(1.0, 1.2),
+            Point::new(6.5, 1.6),
+        ),
         // Case 3: short 3 m link in a vacant area (the paper notes case 3
         // is a strong-LOS 3 m link where path weighting helps least).
-        mk(3, &cr, classroom_room(), Point::new(2.5, 4.5), Point::new(5.5, 4.5)),
+        mk(
+            3,
+            &cr,
+            classroom_room(),
+            Point::new(2.5, 4.5),
+            Point::new(5.5, 4.5),
+        ),
         // Case 4: office link crossing the room past furniture.
-        mk(4, &of, office_room(), Point::new(1.0, 2.5), Point::new(6.0, 2.8)),
+        mk(
+            4,
+            &of,
+            office_room(),
+            Point::new(1.0, 2.5),
+            Point::new(6.0, 2.8),
+        ),
         // Case 5: office link near the drywall stub.
-        mk(5, &of, office_room(), Point::new(1.5, 0.8), Point::new(5.8, 1.0)),
+        mk(
+            5,
+            &of,
+            office_room(),
+            Point::new(1.5, 0.8),
+            Point::new(5.8, 1.0),
+        ),
     ]
 }
 
@@ -206,7 +231,9 @@ pub fn five_cases() -> Vec<LinkCase> {
 /// walking back along the link direction and fanning slightly — the
 /// Fig. 9 distance sweep.
 pub fn distance_ring_positions(case: &LinkCase, distances: &[f64]) -> Vec<(f64, Point)> {
-    let toward_tx = (case.tx - case.rx).normalized().unwrap();
+    let toward_tx = (case.tx - case.rx)
+        .normalized()
+        .unwrap_or(Vec2::new(1.0, 0.0));
     let across = toward_tx.perp();
     let bounds = case.room.shrunk(0.35);
     let mut out = Vec::new();
@@ -224,12 +251,10 @@ pub fn distance_ring_positions(case: &LinkCase, distances: &[f64]) -> Vec<(f64, 
 /// Human positions on an angle fan around the receiver at `radius`
 /// metres: the Fig. 5c / Fig. 11 sweep. Angles are measured against the
 /// receiver's array broadside, which faces the transmitter.
-pub fn angle_fan_positions(
-    case: &LinkCase,
-    radius: f64,
-    angles_deg: &[f64],
-) -> Vec<(f64, Point)> {
-    let broadside = (case.tx - case.rx).normalized().unwrap();
+pub fn angle_fan_positions(case: &LinkCase, radius: f64, angles_deg: &[f64]) -> Vec<(f64, Point)> {
+    let broadside = (case.tx - case.rx)
+        .normalized()
+        .unwrap_or(Vec2::new(1.0, 0.0));
     let bounds = case.room.shrunk(0.35);
     angles_deg
         .iter()
@@ -274,7 +299,13 @@ mod tests {
 
     #[test]
     fn grid_spans_both_sides_of_link() {
-        let grid = grid_3x3(classroom_room(), Point::new(2.0, 3.0), Point::new(6.0, 3.0), 2.4, 2.0);
+        let grid = grid_3x3(
+            classroom_room(),
+            Point::new(2.0, 3.0),
+            Point::new(6.0, 3.0),
+            2.4,
+            2.0,
+        );
         let above = grid.iter().filter(|p| p.y > 3.01).count();
         let below = grid.iter().filter(|p| p.y < 2.99).count();
         let on = grid.iter().filter(|p| (p.y - 3.0).abs() < 0.01).count();

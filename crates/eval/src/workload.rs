@@ -224,11 +224,8 @@ pub fn run_campaign(
 ) -> Result<Vec<CaseData>, mpdf_core::error::DetectError> {
     let mut out = Vec::with_capacity(cases.len());
     for case in cases {
-        let mut receiver = case_receiver(case, cfg, cfg.seed ^ (case.id as u64) << 8)
-            .expect("scenario links are valid by construction");
-        let calibration = receiver
-            .capture_static(None, cfg.calibration_packets)
-            .expect("static capture cannot fail on a valid link");
+        let mut receiver = case_receiver(case, cfg, cfg.seed ^ (case.id as u64) << 8)?;
+        let calibration = receiver.capture_static(None, cfg.calibration_packets)?;
         let profile = CalibrationProfile::build(&calibration, &cfg.detector)?;
 
         let mut windows = Vec::new();
@@ -236,8 +233,7 @@ pub fn run_campaign(
         // Positives: episodes at each grid position.
         for &pos in &case.grid {
             for _ in 0..cfg.episodes_per_position {
-                let packets = capture_window(&mut receiver, case, cfg, Some(pos), widx, 1)
-                    .expect("capture cannot fail on a valid link");
+                let packets = capture_window(&mut receiver, case, cfg, Some(pos), widx, 1)?;
                 windows.push(WindowRecord {
                     packets,
                     human: Some(annotate(case, pos)),
@@ -247,8 +243,7 @@ pub fn run_campaign(
         }
         // Negatives.
         for _ in 0..cfg.negative_windows {
-            let packets = capture_window(&mut receiver, case, cfg, None, widx, 2)
-                .expect("capture cannot fail on a valid link");
+            let packets = capture_window(&mut receiver, case, cfg, None, widx, 2)?;
             windows.push(WindowRecord {
                 packets,
                 human: None,

@@ -27,12 +27,15 @@ fn assert_monotone_cdf(curve: &[(f64, f64)], what: &str) {
         assert!(w[1].1 >= w[0].1 - 1e-12, "{what} not monotone");
     }
     let last = curve.last().unwrap().1;
-    assert!((last - 1.0).abs() < 1e-9, "{what} must end at 1, got {last}");
+    assert!(
+        (last - 1.0).abs() < 1e-9,
+        "{what} must end at 1, got {last}"
+    );
 }
 
 #[test]
 fn fig2a_invariants() {
-    let r = exp::fig2::run_fig2a(&tiny(), 20);
+    let r = exp::fig2::run_fig2a(&tiny(), 20).unwrap();
     assert_monotone_cdf(&r.cdf, "fig2a cdf");
     assert_prob(r.drop_fraction, "drop fraction");
     assert_prob(r.rise_fraction, "rise fraction");
@@ -43,7 +46,7 @@ fn fig2a_invariants() {
 
 #[test]
 fn fig2b_invariants() {
-    let r = exp::fig2::run_fig2b(&tiny(), 200);
+    let r = exp::fig2::run_fig2b(&tiny(), 200).unwrap();
     assert!(!r.subcarrier_a.is_empty() && !r.subcarrier_b.is_empty());
     assert!(r.slots.0 < 30 && r.slots.1 < 30);
     assert!(r.bidirectional_subcarriers <= r.total_subcarriers);
@@ -52,7 +55,7 @@ fn fig2b_invariants() {
 
 #[test]
 fn fig3_invariants() {
-    let r = exp::fig3::run(&tiny(), 30);
+    let r = exp::fig3::run(&tiny(), 30).unwrap();
     assert_monotone_cdf(&r.distribution.cdf, "fig3a cdf");
     assert!(r.distribution.mean_within_location_spread >= 0.0);
     assert_eq!(r.fits.len(), 5);
@@ -65,7 +68,7 @@ fn fig3_invariants() {
 
 #[test]
 fn fig4_invariants() {
-    let r = exp::fig4::run(&tiny(), 300);
+    let r = exp::fig4::run(&tiny(), 300).unwrap();
     assert_eq!(r.locations.len(), 2);
     for loc in &r.locations {
         assert_eq!(loc.mean_mu.len(), 30);
@@ -78,7 +81,7 @@ fn fig4_invariants() {
 
 #[test]
 fn fig5b_invariants() {
-    let r = exp::fig5::run_fig5b(&tiny());
+    let r = exp::fig5::run_fig5b(&tiny()).unwrap();
     assert!(!r.spectrum.is_empty());
     assert!(!r.peaks.is_empty() && r.peaks.len() <= 2);
     assert_eq!(r.true_angles.len(), 2);
@@ -91,7 +94,7 @@ fn fig5b_invariants() {
 
 #[test]
 fn fig5c_invariants() {
-    let r = exp::fig5::run_fig5c(&tiny());
+    let r = exp::fig5::run_fig5c(&tiny()).unwrap();
     assert!(r.rss_change_by_angle.len() >= 10);
     assert!(r.rss_change_by_angle.iter().all(|(_, v)| *v >= 0.0));
     assert!(r.peak_angle_deg.abs() <= 90.0);
@@ -140,7 +143,7 @@ fn fig9_invariants() {
 
 #[test]
 fn fig10_invariants() {
-    let r = exp::fig10::run(&tiny());
+    let r = exp::fig10::run(&tiny()).unwrap();
     assert_monotone_cdf(&r.single_packet_cdf, "fig10 single");
     assert_monotone_cdf(&r.averaged_cdf, "fig10 averaged");
     assert!(r.medians.0 >= 0.0 && r.medians.1 >= 0.0);
@@ -170,7 +173,12 @@ fn ext_hmm_invariants() {
     assert_prob(r.tp.1, "hmm tp");
     assert!(r.windows > 0);
     // The extension's purpose: the HMM must not raise the FP rate.
-    assert!(r.fp.1 <= r.fp.0 + 1e-9, "HMM FP {} vs raw {}", r.fp.1, r.fp.0);
+    assert!(
+        r.fp.1 <= r.fp.0 + 1e-9,
+        "HMM FP {} vs raw {}",
+        r.fp.1,
+        r.fp.0
+    );
 }
 
 #[test]
@@ -191,7 +199,7 @@ fn ext_sweep_invariants() {
 fn ext_array_invariants() {
     let mut cfg = tiny();
     cfg.episodes_per_position = 1;
-    let r = exp::ext_array::run(&cfg);
+    let r = exp::ext_array::run(&cfg).unwrap();
     assert_eq!(r.rows.len(), 4);
     let sizes: Vec<usize> = r.rows.iter().map(|o| o.elements).collect();
     assert_eq!(sizes, vec![3, 4, 6, 8]);

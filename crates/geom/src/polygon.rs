@@ -74,6 +74,7 @@ impl ConvexPolygon {
             max,
             Point::new(min.x, max.y),
         ])
+        // lint: allow(no-panic) — four axis-aligned corners in CCW order are always convex
         .expect("rectangle corners are convex CCW")
     }
 
@@ -92,6 +93,7 @@ impl ConvexPolygon {
             center + hx + hy,
             center - hx + hy,
         ])
+        // lint: allow(no-panic) — rotation preserves convexity; extents asserted positive
         .expect("rotated rectangle is convex CCW")
     }
 
@@ -228,7 +230,8 @@ mod tests {
 
     #[test]
     fn rotated_rectangle_geometry() {
-        let r = ConvexPolygon::rotated_rectangle(p(2.0, 2.0), 2.0, 1.0, std::f64::consts::FRAC_PI_4);
+        let r =
+            ConvexPolygon::rotated_rectangle(p(2.0, 2.0), 2.0, 1.0, std::f64::consts::FRAC_PI_4);
         assert!((r.area() - 2.0).abs() < 1e-9);
         assert!((r.centroid() - p(2.0, 2.0)).norm() < 1e-9);
         assert!(r.contains(p(2.0, 2.0)));

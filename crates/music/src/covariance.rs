@@ -10,6 +10,7 @@ use std::error::Error;
 use std::fmt;
 
 use mpdf_rfmath::complex::Complex64;
+use mpdf_rfmath::contract;
 use mpdf_rfmath::matrix::CMatrix;
 
 /// Error returned by covariance estimation.
@@ -52,7 +53,9 @@ pub fn sample_covariance(snapshots: &[Vec<Complex64>]) -> Result<CMatrix, Covari
         let outer = CMatrix::outer(x, x);
         r = &r + &outer;
     }
-    Ok(r.scale(1.0 / snapshots.len() as f64))
+    let r = r.scale(1.0 / snapshots.len() as f64);
+    contract::assert_hermitian("sample covariance", &r, 1e-9 * (1.0 + r.trace().norm()));
+    Ok(r)
 }
 
 /// Forward–backward averaging: `R_fb = (R + J·R*·J)/2` with `J` the
@@ -64,7 +67,13 @@ pub fn forward_backward(r: &CMatrix) -> CMatrix {
     assert!(r.is_square(), "covariance must be square");
     let m = r.rows();
     let flipped = CMatrix::from_fn(m, m, |i, j| r[(m - 1 - i, m - 1 - j)].conj());
-    (r + &flipped).scale(0.5)
+    let fb = (r + &flipped).scale(0.5);
+    contract::assert_hermitian(
+        "forward–backward covariance",
+        &fb,
+        1e-9 * (1.0 + fb.trace().norm()),
+    );
+    fb
 }
 
 /// Spatially smoothed covariance: averages the covariances of all
@@ -162,7 +171,13 @@ mod tests {
     #[test]
     fn forward_backward_preserves_hermitian_and_trace() {
         let snaps: Vec<Vec<Complex64>> = (0..10)
-            .map(|i| vec![Complex64::cis(i as f64), Complex64::cis(2.0 * i as f64), c(1.0, 0.0)])
+            .map(|i| {
+                vec![
+                    Complex64::cis(i as f64),
+                    Complex64::cis(2.0 * i as f64),
+                    c(1.0, 0.0),
+                ]
+            })
             .collect();
         let r = sample_covariance(&snaps).unwrap();
         let fb = forward_backward(&r);
@@ -175,7 +190,11 @@ mod tests {
         let snaps: Vec<Vec<Complex64>> = (0..16)
             .map(|i| {
                 let t = i as f64;
-                vec![Complex64::cis(t), Complex64::cis(t + 1.0), Complex64::cis(t + 2.0)]
+                vec![
+                    Complex64::cis(t),
+                    Complex64::cis(t + 1.0),
+                    Complex64::cis(t + 2.0),
+                ]
             })
             .collect();
         let r = spatially_smoothed_covariance(&snaps, 2).unwrap();
@@ -196,15 +215,49 @@ mod tests {
         );
     }
 
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// The Hermitian contracts wired into the estimators hold
+            /// for arbitrary bounded snapshot sets.
+            #[test]
+            fn random_snapshot_covariances_are_hermitian(
+                parts in proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 12),
+            ) {
+                let snaps: Vec<Vec<Complex64>> = parts
+                    .chunks(3)
+                    .map(|chunk| {
+                        chunk
+                            .iter()
+                            .map(|&(re, im)| Complex64::new(re, im))
+                            .collect()
+                    })
+                    .collect();
+                let r = sample_covariance(&snaps).unwrap();
+                prop_assert!(r.is_hermitian(1e-9));
+                let fb = forward_backward(&r);
+                prop_assert!(fb.is_hermitian(1e-9));
+                // Diagonal powers stay real and non-negative.
+                for i in 0..3 {
+                    prop_assert!(r[(i, i)].re >= 0.0);
+                    prop_assert!(r[(i, i)].im.abs() < 1e-12);
+                }
+            }
+        }
+    }
+
     #[test]
     fn smoothing_decorrelates_coherent_sources() {
         // Two fully coherent plane waves on a 3-element λ/2 ULA: the plain
         // covariance is rank-1; smoothing restores rank 2.
         let theta1: f64 = 0.2;
         let theta2: f64 = -0.7;
-        let steer = |theta: f64, m: usize| {
-            Complex64::cis(-std::f64::consts::PI * m as f64 * theta.sin())
-        };
+        let steer =
+            |theta: f64, m: usize| Complex64::cis(-std::f64::consts::PI * m as f64 * theta.sin());
         let snaps: Vec<Vec<Complex64>> = (0..32)
             .map(|i| {
                 let s = Complex64::cis(i as f64 * 0.9); // same symbol on both paths (coherent)

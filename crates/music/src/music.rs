@@ -15,6 +15,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use mpdf_rfmath::complex::Complex64;
+use mpdf_rfmath::contract;
 use mpdf_rfmath::eig::{hermitian_eig, EigError};
 use mpdf_rfmath::matrix::CMatrix;
 
@@ -139,6 +140,7 @@ impl AngleGrid {
     pub fn angles_deg(&self) -> Vec<f64> {
         assert!(self.step_deg > 0.0, "grid step must be positive");
         assert!(self.end_deg >= self.start_deg, "grid range inverted");
+        // lint: allow(lossy-cast) — span/step is non-negative and small (asserted above)
         let n = ((self.end_deg - self.start_deg) / self.step_deg).round() as usize + 1;
         (0..n)
             .map(|i| self.start_deg + i as f64 * self.step_deg)
@@ -186,12 +188,7 @@ impl Pseudospectrum {
             .angles_deg
             .iter()
             .enumerate()
-            .min_by(|a, b| {
-                (a.1 - angle_deg)
-                    .abs()
-                    .partial_cmp(&(b.1 - angle_deg).abs())
-                    .unwrap()
-            })
+            .min_by(|a, b| (a.1 - angle_deg).abs().total_cmp(&(b.1 - angle_deg).abs()))
             .map(|(i, _)| i)
             .unwrap_or(0);
         self.values[idx]
@@ -221,13 +218,17 @@ impl Pseudospectrum {
         let mut found: Vec<(f64, f64)> = Vec::new();
         for i in 0..n {
             let left = if i == 0 { f64::MIN } else { self.values[i - 1] };
-            let right = if i == n - 1 { f64::MIN } else { self.values[i + 1] };
+            let right = if i == n - 1 {
+                f64::MIN
+            } else {
+                self.values[i + 1]
+            };
             let v = self.values[i];
             if v >= left && v > right && v >= min_rel * global {
                 found.push((self.angles_deg[i], v));
             }
         }
-        found.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        found.sort_by(|a, b| b.1.total_cmp(&a.1));
         found.truncate(max_peaks);
         found
     }
@@ -253,12 +254,17 @@ pub fn pseudospectrum(
             elements: m,
         });
     }
+    contract::assert_hermitian(
+        "MUSIC covariance",
+        covariance,
+        1e-9 * (1.0 + covariance.trace().norm()),
+    );
     let eig = hermitian_eig(covariance, 1e-10)?;
     let en = eig.noise_subspace(num_sources);
     // Projector onto the noise subspace: E_N E_Nᴴ.
     let projector = &en * &en.hermitian();
     let angles = grid.angles_deg();
-    let values = angles
+    let values: Vec<f64> = angles
         .iter()
         .map(|&deg| {
             let a = steering.vector(deg.to_radians());
@@ -266,6 +272,9 @@ pub fn pseudospectrum(
             1.0 / denom
         })
         .collect();
+    // The denominator is clamped away from zero, so the pseudospectrum
+    // must come out strictly positive and finite.
+    contract::assert_positive("MUSIC pseudospectrum", &values);
     Ok(Pseudospectrum::new(angles, values))
 }
 
@@ -291,13 +300,14 @@ pub fn bartlett_spectrum(
         return Err(MusicError::Covariance(CovarianceError::RaggedSnapshots));
     }
     let angles = grid.angles_deg();
-    let values = angles
+    let values: Vec<f64> = angles
         .iter()
         .map(|&deg| {
             let a = steering.vector(deg.to_radians());
             covariance.quadratic_form(&a).re.max(0.0)
         })
         .collect();
+    contract::assert_non_negative("Bartlett spectrum", &values);
     Ok(Pseudospectrum::new(angles, values))
 }
 
@@ -378,15 +388,12 @@ mod tests {
     #[test]
     fn two_incoherent_sources_resolved() {
         let steering = UlaSteering::three_half_wavelength();
-        let snaps = plane_wave_snapshots(
-            &steering,
-            &[(0.0f64, 1.0), (50f64.to_radians(), 0.8)],
-            128,
-        );
+        let snaps =
+            plane_wave_snapshots(&steering, &[(0.0f64, 1.0), (50f64.to_radians(), 0.8)], 128);
         let angles = estimate_aoa(&snaps, &steering, 2, &AngleGrid::full_front(0.5)).unwrap();
         assert_eq!(angles.len(), 2);
         let mut sorted = angles.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(f64::total_cmp);
         assert!((sorted[0] - 0.0).abs() < 4.0, "{sorted:?}");
         assert!((sorted[1] - 50.0).abs() < 4.0, "{sorted:?}");
     }
@@ -447,5 +454,39 @@ mod tests {
             elements: 3,
         };
         assert!(e.to_string().contains("3 sources"));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            /// The strict-positivity contract wired into
+            /// `pseudospectrum` holds for covariances of arbitrary
+            /// bounded snapshot sets (4 snapshots × 3 elements).
+            #[test]
+            fn pseudospectrum_is_positive_on_random_covariances(
+                parts in proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 12),
+            ) {
+                let snaps: Vec<Vec<Complex64>> = parts
+                    .chunks(3)
+                    .map(|chunk| {
+                        chunk
+                            .iter()
+                            .map(|&(re, im)| Complex64::new(re, im))
+                            .collect()
+                    })
+                    .collect();
+                let r = crate::covariance::sample_covariance(&snaps).unwrap();
+                let steering = UlaSteering::three_half_wavelength();
+                let spec =
+                    pseudospectrum(&r, &steering, 1, &AngleGrid::full_front(5.0)).unwrap();
+                prop_assert!(spec.values().iter().all(|v| v.is_finite() && *v > 0.0));
+                let bart = bartlett_spectrum(&r, &steering, &AngleGrid::full_front(5.0)).unwrap();
+                prop_assert!(bart.values().iter().all(|v| v.is_finite() && *v >= 0.0));
+            }
+        }
     }
 }

@@ -7,8 +7,11 @@ use proptest::prelude::*;
 
 fn snapshots_strategy() -> impl Strategy<Value = Vec<Vec<Complex64>>> {
     proptest::collection::vec(
-        proptest::collection::vec((-2.0f64..2.0, -2.0f64..2.0), 3)
-            .prop_map(|v| v.into_iter().map(|(re, im)| Complex64::new(re, im)).collect()),
+        proptest::collection::vec((-2.0f64..2.0, -2.0f64..2.0), 3).prop_map(|v| {
+            v.into_iter()
+                .map(|(re, im)| Complex64::new(re, im))
+                .collect()
+        }),
         4..32,
     )
 }

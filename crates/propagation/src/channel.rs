@@ -35,6 +35,9 @@ pub struct ChannelModel {
     static_paths: Vec<PropagationPath>,
 }
 
+// Referenced from the `#[serde(default = "...")]` attribute above, which
+// the vendored serde stand-in parses but does not yet expand into code.
+#[allow(dead_code)]
 fn default_trace_config() -> TraceConfig {
     TraceConfig::default()
 }
@@ -379,9 +382,7 @@ mod tests {
         let snap = link().snapshot(None).unwrap();
         let angles = snap.arrival_angles();
         // LOS arrives travelling in +x: angle ≈ 0.
-        assert!(angles
-            .iter()
-            .any(|&(a, _)| a.abs() < 1e-9));
+        assert!(angles.iter().any(|&(a, _)| a.abs() < 1e-9));
         assert_eq!(angles.len(), snap.paths().len());
     }
 }

@@ -221,10 +221,7 @@ mod tests {
     #[test]
     fn builder_adds_interior_walls_and_furniture() {
         let mut b = Environment::builder(room(), Material::CONCRETE);
-        b.interior_wall(
-            Segment::new(p(4.0, 0.0), p(4.0, 3.0)),
-            Material::DRYWALL,
-        );
+        b.interior_wall(Segment::new(p(4.0, 0.0), p(4.0, 3.0)), Material::DRYWALL);
         b.furniture(Rect::new(p(1.0, 1.0), p(2.0, 2.0)), Material::WOOD);
         let env = b.build();
         assert_eq!(env.walls().len(), 5);
@@ -240,10 +237,7 @@ mod tests {
     #[test]
     fn interior_wall_attenuates_crossing_leg() {
         let mut b = Environment::builder(room(), Material::CONCRETE);
-        b.interior_wall(
-            Segment::new(p(4.0, 0.0), p(4.0, 6.0)),
-            Material::DRYWALL,
-        );
+        b.interior_wall(Segment::new(p(4.0, 0.0), p(4.0, 6.0)), Material::DRYWALL);
         let env = b.build();
         let t = env.transmission_between(p(1.0, 3.0), p(7.0, 3.0));
         assert!((t - Material::DRYWALL.transmission()).abs() < 1e-12);

@@ -52,7 +52,10 @@ impl HumanBody {
     /// Panics if `radius <= 0`, or `reflectivity`/`min_shadow` are outside
     /// `[0, 1]`.
     pub fn with_params(position: Point, radius: f64, reflectivity: f64, min_shadow: f64) -> Self {
-        assert!(radius > 0.0 && radius.is_finite(), "radius must be positive");
+        assert!(
+            radius > 0.0 && radius.is_finite(),
+            "radius must be positive"
+        );
         assert!(
             (0.0..=1.0).contains(&reflectivity),
             "reflectivity must be in [0, 1]"
@@ -118,20 +121,14 @@ impl HumanBody {
     /// The amplitude factor combines the body reflectivity with the
     /// obstacle transmission of both legs. Returns `None` when the body
     /// sits (numerically) on top of either endpoint.
-    pub fn scatter_path(
-        &self,
-        env: &Environment,
-        tx: Point,
-        rx: Point,
-    ) -> Option<PropagationPath> {
+    pub fn scatter_path(&self, env: &Environment, tx: Point, rx: Point) -> Option<PropagationPath> {
         if self.position.distance(tx) < 1e-6 || self.position.distance(rx) < 1e-6 {
             return None;
         }
         let leg1 = mpdf_geom::segment::Segment::new(tx, self.position);
         let leg2 = mpdf_geom::segment::Segment::new(self.position, rx);
-        let factor = self.reflectivity
-            * env.leg_transmission(&leg1, &[])
-            * env.leg_transmission(&leg2, &[]);
+        let factor =
+            self.reflectivity * env.leg_transmission(&leg1, &[]) * env.leg_transmission(&leg2, &[]);
         Some(PropagationPath::new(
             vec![tx, self.position, rx],
             factor,
@@ -212,7 +209,9 @@ mod tests {
     #[test]
     fn scatter_on_endpoint_is_rejected() {
         let body = HumanBody::new(p(2.0, 3.0));
-        assert!(body.scatter_path(&env(), p(2.0, 3.0), p(6.0, 3.0)).is_none());
+        assert!(body
+            .scatter_path(&env(), p(2.0, 3.0), p(6.0, 3.0))
+            .is_none());
     }
 
     #[test]

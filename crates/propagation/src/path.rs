@@ -99,10 +99,7 @@ impl PropagationPath {
 
     /// Total geometric length in metres.
     pub fn length(&self) -> f64 {
-        self.vertices
-            .windows(2)
-            .map(|w| w[0].distance(w[1]))
-            .sum()
+        self.vertices.windows(2).map(|w| w[0].distance(w[1])).sum()
     }
 
     /// Propagation delay in seconds.
@@ -204,8 +201,8 @@ mod tests {
         let g = path.gain(F, &model);
         let expect_amp = 0.5 * model.amplitude_gain(4.0, F);
         assert!((g.norm() - expect_amp).abs() < 1e-15);
-        let expect_phase =
-            (-2.0 * std::f64::consts::PI * F * 4.0 / SPEED_OF_LIGHT).rem_euclid(2.0 * std::f64::consts::PI);
+        let expect_phase = (-2.0 * std::f64::consts::PI * F * 4.0 / SPEED_OF_LIGHT)
+            .rem_euclid(2.0 * std::f64::consts::PI);
         let got_phase = g.arg().rem_euclid(2.0 * std::f64::consts::PI);
         assert!((got_phase - expect_phase).abs() < 1e-6);
     }
@@ -213,7 +210,8 @@ mod tests {
     #[test]
     fn longer_paths_are_weaker_and_rotate_phase() {
         let model = PathLossModel::indoor_office();
-        let short = PropagationPath::new(vec![p(0.0, 0.0), p(2.0, 0.0)], 1.0, PathKind::LineOfSight);
+        let short =
+            PropagationPath::new(vec![p(0.0, 0.0), p(2.0, 0.0)], 1.0, PathKind::LineOfSight);
         let long = PropagationPath::new(vec![p(0.0, 0.0), p(6.0, 0.0)], 1.0, PathKind::LineOfSight);
         assert!(short.gain(F, &model).norm() > long.gain(F, &model).norm());
     }
@@ -228,7 +226,10 @@ mod tests {
         let g0 = path.gain(F, &model);
         let g1 = att.gain(F, &model);
         assert!((g1.norm() / g0.norm() - 0.5).abs() < 1e-12);
-        assert!((g1.arg() - g0.arg()).abs() < 1e-12, "phase must be unchanged");
+        assert!(
+            (g1.arg() - g0.arg()).abs() < 1e-12,
+            "phase must be unchanged"
+        );
     }
 
     #[test]

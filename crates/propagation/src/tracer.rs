@@ -123,7 +123,7 @@ pub fn trace(
     paths.retain(|p| {
         p.kind() == PathKind::LineOfSight || p.amplitude_factor() >= cfg.min_amplitude_factor
     });
-    paths.sort_by(|a, b| a.length().partial_cmp(&b.length()).unwrap());
+    paths.sort_by(|a, b| a.length().total_cmp(&b.length()));
     Ok(paths)
 }
 
@@ -168,7 +168,12 @@ fn enumerate_sequences(
 
 /// Reflection point of the segment `from_image → target` on wall `wall_idx`,
 /// if it falls strictly within the wall extent.
-fn reflection_point(env: &Environment, image: Point, target: Point, wall_idx: usize) -> Option<Point> {
+fn reflection_point(
+    env: &Environment,
+    image: Point,
+    target: Point,
+    wall_idx: usize,
+) -> Option<Point> {
     let wall = &env.walls()[wall_idx].segment;
     match Segment::new(image, target).intersect(wall) {
         Intersection::Point { at, u, .. } if u > 1e-6 && u < 1.0 - 1e-6 => Some(at),
@@ -178,7 +183,12 @@ fn reflection_point(env: &Environment, image: Point, target: Point, wall_idx: us
 
 /// Constructs the specular path bouncing off the given wall sequence via
 /// the image method, or `None` when geometrically invalid.
-fn bounce_path(env: &Environment, tx: Point, rx: Point, walls: &[usize]) -> Option<PropagationPath> {
+fn bounce_path(
+    env: &Environment,
+    tx: Point,
+    rx: Point,
+    walls: &[usize],
+) -> Option<PropagationPath> {
     let order = walls.len();
     debug_assert!(order >= 1);
 
@@ -187,7 +197,7 @@ fn bounce_path(env: &Environment, tx: Point, rx: Point, walls: &[usize]) -> Opti
     images.push(tx);
     for &w in walls {
         let line = Line::through_segment(&env.walls()[w].segment)?;
-        let prev = *images.last().expect("non-empty");
+        let prev = *images.last()?;
         // A source on the mirror plane has a degenerate image.
         if line.signed_distance(prev).abs() < 1e-9 {
             return None;
@@ -239,7 +249,8 @@ fn bounce_path(env: &Environment, tx: Point, rx: Point, walls: &[usize]) -> Opti
         vertices,
         factor,
         PathKind::WallReflection {
-            order: order as u8,
+            // Reflection order is bounded by TraceConfig::max_order (≪ 255).
+            order: u8::try_from(order).unwrap_or(u8::MAX),
         },
     ))
 }
@@ -330,9 +341,7 @@ mod tests {
             assert!(pp.length() > los_len);
             assert_eq!(pp.vertices().len(), 4);
             // Amplitude includes two reflection coefficients.
-            assert!(
-                pp.amplitude_factor() <= Material::CONCRETE.reflection().powi(2) + 1e-12
-            );
+            assert!(pp.amplitude_factor() <= Material::CONCRETE.reflection().powi(2) + 1e-12);
         }
     }
 
@@ -365,10 +374,7 @@ mod tests {
 
     #[test]
     fn furniture_blocks_los_but_not_all_reflections() {
-        let mut b = Environment::builder(
-            Rect::new(p(0.0, 0.0), p(8.0, 6.0)),
-            Material::CONCRETE,
-        );
+        let mut b = Environment::builder(Rect::new(p(0.0, 0.0), p(8.0, 6.0)), Material::CONCRETE);
         b.furniture(Rect::new(p(3.5, 2.5), p(4.5, 3.5)), Material::METAL);
         let env = b.build();
         let cfg = TraceConfig {

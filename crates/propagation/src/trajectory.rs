@@ -95,7 +95,7 @@ impl WaypointWalk {
 impl Trajectory for WaypointWalk {
     fn position(&self, t: f64) -> Point {
         let first = self.waypoints[0];
-        let last = *self.waypoints.last().unwrap();
+        let last = *self.waypoints.last().unwrap_or(&first);
         if t <= first.0 {
             return first.1;
         }
@@ -112,7 +112,7 @@ impl Trajectory for WaypointWalk {
     }
 
     fn duration(&self) -> f64 {
-        self.waypoints.last().unwrap().0
+        self.waypoints.last().map_or(0.0, |w| w.0)
     }
 }
 

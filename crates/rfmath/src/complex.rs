@@ -365,14 +365,16 @@ mod tests {
             let theta = k as f64 * 0.2 - 3.0;
             let z = Complex64::cis(theta);
             assert!((z.norm() - 1.0).abs() < EPS);
-            assert!((z.arg() - theta.rem_euclid(2.0 * std::f64::consts::PI))
-                .abs()
-                .min(
-                    (z.arg() + 2.0 * std::f64::consts::PI
-                        - theta.rem_euclid(2.0 * std::f64::consts::PI))
+            assert!(
+                (z.arg() - theta.rem_euclid(2.0 * std::f64::consts::PI))
                     .abs()
-                )
-                < 1e-9);
+                    .min(
+                        (z.arg() + 2.0 * std::f64::consts::PI
+                            - theta.rem_euclid(2.0 * std::f64::consts::PI))
+                        .abs()
+                    )
+                    < 1e-9
+            );
         }
     }
 
@@ -489,6 +491,6 @@ mod tests {
     // We avoid a serde_json dev-dependency; just ensure Serialize is wired by
     // serializing through the Debug-stable helper below.
     fn serde_json_like(z: &Complex64) -> String {
-        format!("{:?}", z)
+        format!("{z:?}")
     }
 }

@@ -274,7 +274,9 @@ mod tests {
     fn nudft_recovers_single_path_delay() {
         // Single path at delay τ0: H(f) = e^{-2πi f τ0}. |ĥ(τ)| peaks at τ0.
         let tau0 = 40e-9;
-        let freqs: Vec<f64> = (0..30).map(|i| 2.462e9 + (i as f64 - 15.0) * 312.5e3).collect();
+        let freqs: Vec<f64> = (0..30)
+            .map(|i| 2.462e9 + (i as f64 - 15.0) * 312.5e3)
+            .collect();
         let h: Vec<Complex64> = freqs
             .iter()
             .map(|&f| Complex64::cis(-2.0 * PI * f * tau0))
@@ -307,7 +309,7 @@ mod tests {
         let argmax = profile
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap()
             .0;
         assert_eq!(argmax, 0, "profile: {profile:?}");

@@ -171,12 +171,7 @@ fn plane_rotation(n: usize, p: usize, q: usize, app: f64, aqq: f64, apq: Complex
 fn sorted_decomposition(m: &CMatrix, v: &CMatrix) -> EigDecomposition {
     let n = m.rows();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| {
-        m[(j, j)]
-            .re
-            .partial_cmp(&m[(i, i)].re)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    order.sort_by(|&i, &j| m[(j, j)].re.total_cmp(&m[(i, i)].re));
     let values = order.iter().map(|&i| m[(i, i)].re).collect();
     let vectors = CMatrix::from_fn(n, n, |r, c| v[(r, order[c])]);
     EigDecomposition { values, vectors }
@@ -264,7 +259,9 @@ mod tests {
         // Deterministic pseudo-random Hermitian 8×8.
         let mut seed = 42u64;
         let mut next = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         let mut a = CMatrix::zeros(8, 8);

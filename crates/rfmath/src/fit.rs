@@ -199,7 +199,10 @@ mod tests {
             linear_fit(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]),
             Err(FitError::DegenerateX)
         );
-        assert_eq!(log_fit(&[-1.0, -2.0], &[0.0, 0.0]), Err(FitError::TooFewPoints));
+        assert_eq!(
+            log_fit(&[-1.0, -2.0], &[0.0, 0.0]),
+            Err(FitError::TooFewPoints)
+        );
     }
 
     #[test]

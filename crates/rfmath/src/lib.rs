@@ -6,6 +6,9 @@
 //! implements exactly what the paper's pipeline needs:
 //!
 //! - [`complex`] — `Complex64` scalar arithmetic (channel superposition).
+//! - [`contract`] — `debug_assert`-backed numerical contracts the hot
+//!   paths assert at their boundaries (finiteness, normalization,
+//!   Hermitian symmetry).
 //! - [`matrix`] — dense complex matrices (antenna covariance).
 //! - [`eig`] — Hermitian Jacobi eigendecomposition (MUSIC subspaces).
 //! - [`dft`] — uniform and non-uniform Fourier transforms (dominant-tap
@@ -29,6 +32,7 @@
 #![forbid(unsafe_code)]
 
 pub mod complex;
+pub mod contract;
 pub mod db;
 pub mod dft;
 pub mod eig;

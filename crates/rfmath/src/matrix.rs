@@ -162,11 +162,7 @@ impl CMatrix {
 
     /// Frobenius norm `‖A‖_F`.
     pub fn frobenius_norm(&self) -> f64 {
-        self.data
-            .iter()
-            .map(|z| z.norm_sqr())
-            .sum::<f64>()
-            .sqrt()
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
     }
 
     /// Largest off-diagonal modulus; the Jacobi sweep convergence measure.
@@ -363,10 +359,18 @@ mod tests {
 
     #[test]
     fn hermitian_transpose_conjugates() {
-        let a = CMatrix::from_rows(2, 3, &[
-            c(1.0, 2.0), c(3.0, -1.0), c(0.0, 0.5),
-            c(-1.0, 0.0), c(2.0, 2.0), c(4.0, -4.0),
-        ]);
+        let a = CMatrix::from_rows(
+            2,
+            3,
+            &[
+                c(1.0, 2.0),
+                c(3.0, -1.0),
+                c(0.0, 0.5),
+                c(-1.0, 0.0),
+                c(2.0, 2.0),
+                c(4.0, -4.0),
+            ],
+        );
         let h = a.hermitian();
         assert_eq!(h.rows(), 3);
         assert_eq!(h.cols(), 2);

@@ -36,7 +36,7 @@ pub fn median(xs: &[f64]) -> f64 {
         return 0.0;
     }
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    v.sort_by(f64::total_cmp);
     let n = v.len();
     if n % 2 == 1 {
         v[n / 2]
@@ -53,9 +53,11 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
     assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
     assert!(!xs.is_empty(), "percentile of empty slice");
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    v.sort_by(f64::total_cmp);
     let rank = p / 100.0 * (v.len() - 1) as f64;
+    // lint: allow(lossy-cast) — rank ∈ [0, len-1] by the asserted p range
     let lo = rank.floor() as usize;
+    // lint: allow(lossy-cast) — rank ∈ [0, len-1] by the asserted p range
     let hi = rank.ceil() as usize;
     if lo == hi {
         v[lo]
@@ -71,9 +73,10 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
 /// Panics on empty input.
 pub fn min_max(xs: &[f64]) -> (f64, f64) {
     assert!(!xs.is_empty(), "min_max of empty slice");
-    xs.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
-        (lo.min(x), hi.max(x))
-    })
+    xs.iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
+            (lo.min(x), hi.max(x))
+        })
 }
 
 /// An empirical cumulative distribution function built from samples.
@@ -92,7 +95,7 @@ impl Ecdf {
     /// Builds an ECDF from samples (NaNs are dropped).
     pub fn new(samples: &[f64]) -> Self {
         let mut sorted: Vec<f64> = samples.iter().copied().filter(|x| !x.is_nan()).collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        sorted.sort_by(f64::total_cmp);
         Ecdf { sorted }
     }
 
@@ -122,6 +125,7 @@ impl Ecdf {
     pub fn quantile(&self, q: f64) -> f64 {
         assert!(!self.sorted.is_empty(), "quantile of empty ECDF");
         assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1]");
+        // lint: allow(lossy-cast) — q ≤ 1 so the product is bounded by len
         let idx = ((q * self.sorted.len() as f64).ceil() as usize).saturating_sub(1);
         self.sorted[idx.min(self.sorted.len() - 1)]
     }
@@ -133,7 +137,7 @@ impl Ecdf {
             return Vec::new();
         }
         let lo = self.sorted[0];
-        let hi = *self.sorted.last().unwrap();
+        let hi = *self.sorted.last().unwrap_or(&lo);
         let span = (hi - lo).max(f64::MIN_POSITIVE);
         (0..n)
             .map(|i| {

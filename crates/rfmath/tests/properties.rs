@@ -16,7 +16,9 @@ fn complex() -> impl Strategy<Value = Complex64> {
     (finite(), finite()).prop_map(|(re, im)| Complex64::new(re, im))
 }
 
-fn complex_vec(len: impl Into<proptest::collection::SizeRange>) -> impl Strategy<Value = Vec<Complex64>> {
+fn complex_vec(
+    len: impl Into<proptest::collection::SizeRange>,
+) -> impl Strategy<Value = Vec<Complex64>> {
     proptest::collection::vec(complex(), len)
 }
 

@@ -41,6 +41,7 @@ impl UniformLinearArray {
             spacing_m > 0.0 && spacing_m.is_finite(),
             "element spacing must be positive"
         );
+        // lint: allow(no-panic) — validating constructor with a documented `# Panics` contract
         let axis = axis.normalized().expect("array axis must be non-zero");
         UniformLinearArray {
             elements,
@@ -136,7 +137,7 @@ mod tests {
     #[test]
     fn incidence_angle_geometry() {
         let a = UniformLinearArray::three_element(LAMBDA); // axis +y
-        // Wave travelling +x (broadside): θ = 0.
+                                                           // Wave travelling +x (broadside): θ = 0.
         assert!(a.incidence_angle(Vec2::new(1.0, 0.0)).abs() < 1e-12);
         // Travelling +y (endfire): θ = +90°.
         assert!((a.incidence_angle(Vec2::new(0.0, 1.0)) - FRAC_PI_2).abs() < 1e-12);

@@ -89,7 +89,9 @@ impl Band {
 
     /// All subcarrier frequencies in slot order.
     pub fn frequencies(&self) -> Vec<f64> {
-        (0..self.indices.len()).map(|k| self.subcarrier_hz(k)).collect()
+        (0..self.indices.len())
+            .map(|k| self.subcarrier_hz(k))
+            .collect()
     }
 
     /// Wavelength at the centre frequency (m).

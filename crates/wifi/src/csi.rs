@@ -36,7 +36,10 @@ impl CsiPacket {
         seq: u64,
         timestamp: f64,
     ) -> Self {
-        assert!(antennas > 0 && subcarriers > 0, "dimensions must be non-zero");
+        assert!(
+            antennas > 0 && subcarriers > 0,
+            "dimensions must be non-zero"
+        );
         assert_eq!(
             data.len(),
             antennas * subcarriers,
@@ -128,7 +131,9 @@ impl CsiPacket {
         let a = packets[0].antennas;
         let s = packets[0].subcarriers;
         assert!(
-            packets.iter().all(|p| p.antennas == a && p.subcarriers == s),
+            packets
+                .iter()
+                .all(|p| p.antennas == a && p.subcarriers == s),
             "all packets must share a shape"
         );
         let n = packets.len() as f64;
@@ -163,7 +168,7 @@ impl CsiPacket {
                         (0..p.antennas).map(|a| p.power(a, k)).sum::<f64>() / p.antennas as f64
                     })
                     .collect();
-                powers.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                powers.sort_by(f64::total_cmp);
                 let n = powers.len();
                 if n % 2 == 1 {
                     powers[n / 2]

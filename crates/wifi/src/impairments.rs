@@ -151,9 +151,8 @@ impl ImpairmentModel {
                 Some(c) => c.min(k - 1).saturating_sub(width / 2).min(k - width),
                 None => rng.gen_range(0..=(k - width)),
             };
-            let sigma = (reference_power
-                * mpdf_rfmath::db::db_to_power(self.interference_power_db))
-            .sqrt();
+            let sigma =
+                (reference_power * mpdf_rfmath::db::db_to_power(self.interference_power_db)).sqrt();
             Some((start, start + width, sigma))
         } else {
             None
@@ -170,8 +169,8 @@ impl ImpairmentModel {
                 };
                 if let Some((lo, hi, sigma)) = burst {
                     if k >= lo && k < hi {
-                        noise += Complex64::new(gaussian(rng), gaussian(rng))
-                            * (sigma / 2f64.sqrt());
+                        noise +=
+                            Complex64::new(gaussian(rng), gaussian(rng)) * (sigma / 2f64.sqrt());
                     }
                 }
                 let h = packet.get_mut(a, k);

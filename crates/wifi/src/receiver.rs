@@ -119,12 +119,8 @@ impl CsiReceiver {
                 power += (h * gain).norm_sqr();
             }
         }
-        let reference_power =
-            (power / (offsets.len() * freqs.len()) as f64).max(f64::MIN_POSITIVE);
-        let drift = vec![
-            mpdf_rfmath::complex::Complex64::ZERO;
-            offsets.len() * freqs.len()
-        ];
+        let reference_power = (power / (offsets.len() * freqs.len()) as f64).max(f64::MIN_POSITIVE);
+        let drift = vec![mpdf_rfmath::complex::Complex64::ZERO; offsets.len() * freqs.len()];
         Ok(CsiReceiver {
             channel,
             config,
@@ -212,7 +208,11 @@ impl CsiReceiver {
         let offsets = self.config.array.offsets();
         let mut data = Vec::with_capacity(offsets.len() * freqs.len());
         for (i, off) in offsets.iter().enumerate() {
-            for (k, h) in snapshot.cfr_with_offset(&freqs, *off).into_iter().enumerate() {
+            for (k, h) in snapshot
+                .cfr_with_offset(&freqs, *off)
+                .into_iter()
+                .enumerate()
+            {
                 data.push((h * self.gain + self.drift[i * freqs.len() + k]) * self.session_gain);
             }
         }

@@ -108,15 +108,10 @@ mod tests {
     fn packet_with_linear_phase(slope: f64, intercept: f64) -> CsiPacket {
         let data: Vec<Complex64> = (0..3)
             .flat_map(|a| {
-                INTEL5300_SUBCARRIER_INDICES
-                    .iter()
-                    .map(move |&idx| {
-                        // Distinct inter-antenna phase (0.3·a) rides on top.
-                        Complex64::from_polar(
-                            2.0,
-                            slope * idx as f64 + intercept + 0.3 * a as f64,
-                        )
-                    })
+                INTEL5300_SUBCARRIER_INDICES.iter().map(move |&idx| {
+                    // Distinct inter-antenna phase (0.3·a) rides on top.
+                    Complex64::from_polar(2.0, slope * idx as f64 + intercept + 0.3 * a as f64)
+                })
             })
             .collect();
         CsiPacket::new(3, 30, data, 0, 0.0)
@@ -154,10 +149,7 @@ mod tests {
         sanitize_packet(&mut p, &INTEL5300_SUBCARRIER_INDICES);
         // Residual phase across subcarriers of one antenna is flat.
         let phases: Vec<f64> = (0..30).map(|k| p.get(0, k).arg()).collect();
-        let spread = phases
-            .iter()
-            .cloned()
-            .fold(f64::NEG_INFINITY, f64::max)
+        let spread = phases.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
             - phases.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!(spread < 1e-6, "phase spread {spread}");
         // Inter-antenna differences preserved exactly.

@@ -249,13 +249,7 @@ mod tests {
     #[should_panic(expected = "share a shape")]
     fn mixed_shapes_panic() {
         let mut v = packets(1);
-        v.push(CsiPacket::new(
-            2,
-            30,
-            vec![Complex64::ZERO; 60],
-            0,
-            0.0,
-        ));
+        v.push(CsiPacket::new(2, 30, vec![Complex64::ZERO; 60], 0, 0.0));
         let _ = encode_capture(&v);
     }
 

@@ -23,11 +23,9 @@ fn packet_strategy() -> impl Strategy<Value = CsiPacket> {
     (amplitude(), phase(), -0.08f64..0.08, phase()).prop_map(|(a, p0, slope, ant)| {
         let data: Vec<Complex64> = (0..3)
             .flat_map(|m| {
-                INTEL5300_SUBCARRIER_INDICES
-                    .iter()
-                    .map(move |&idx| {
-                        Complex64::from_polar(a, p0 + slope * idx as f64 + ant * m as f64)
-                    })
+                INTEL5300_SUBCARRIER_INDICES.iter().map(move |&idx| {
+                    Complex64::from_polar(a, p0 + slope * idx as f64 + ant * m as f64)
+                })
             })
             .collect();
         CsiPacket::new(3, 30, data, 0, 0.0)

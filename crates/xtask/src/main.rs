@@ -1,0 +1,98 @@
+//! Workspace automation entry point, invoked as `cargo xtask <command>`.
+//!
+//! The binary is intentionally std-only so it builds and runs without any
+//! network access to a crate registry — it is part of the tier-1 gate and
+//! must work in the fully offline build container.
+//!
+//! Commands:
+//!
+//! - `cargo xtask lint [--root <path>]` — run the repo-specific static
+//!   analysis suite over all first-party source (see [`lint`] for the
+//!   rule table). Exits non-zero if any violation is found.
+//! - `cargo xtask rules` — print the rule names and one-line policies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+mod lint;
+mod scan;
+
+use lint::Rule;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(&args[1..]),
+        Some("rules") => {
+            print_rules();
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: cargo xtask <lint [--root <path>] | rules>");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_rules() {
+    println!("cargo xtask lint enforces:");
+    for rule in Rule::all() {
+        println!("  {}", rule.name());
+    }
+    println!("escape hatch: `// lint: allow(<rule>) — <reason>` on or above the line");
+}
+
+fn run_lint(args: &[String]) -> ExitCode {
+    let root = match parse_root(args) {
+        Ok(root) => root,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match lint::lint_workspace(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("xtask lint: clean ({} rules)", Rule::all().len());
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            println!(
+                "xtask lint: {} violation(s); annotate intentional ones with \
+                 `// lint: allow(<rule>) — <reason>`",
+                violations.len()
+            );
+            ExitCode::FAILURE
+        }
+        Err(err) => {
+            eprintln!("xtask lint: i/o error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Resolves the workspace root: `--root <path>` argument, the
+/// `CARGO_MANIFEST_DIR`-derived default when run via `cargo xtask`, or
+/// the current directory.
+fn parse_root(args: &[String]) -> Result<PathBuf, String> {
+    if let Some(pos) = args.iter().position(|a| a == "--root") {
+        return args
+            .get(pos + 1)
+            .map(PathBuf::from)
+            .ok_or_else(|| "--root requires a path argument".to_owned());
+    }
+    if let Some(manifest_dir) = env::var_os("CARGO_MANIFEST_DIR") {
+        // crates/xtask → workspace root is two levels up.
+        let dir = PathBuf::from(manifest_dir);
+        if let Some(root) = dir.ancestors().nth(2) {
+            return Ok(root.to_path_buf());
+        }
+    }
+    env::current_dir().map_err(|e| format!("cannot resolve workspace root: {e}"))
+}

@@ -1,0 +1,252 @@
+//! Source preprocessing for the lint engine.
+//!
+//! The linter is deliberately a line-oriented scanner, not a parser: the
+//! rules it enforces are all expressible on code text once string
+//! literals and comments are stripped. This module does that stripping
+//! with a small state machine that understands line comments, (nested)
+//! block comments, regular/raw string literals, char literals and
+//! lifetimes, and also tracks which lines fall inside `#[cfg(test)]`
+//! modules so panicking assertions in unit tests are not flagged.
+
+/// One source line, split into the parts the rules care about.
+#[derive(Debug, Clone)]
+pub struct ScannedLine {
+    /// Line number, 1-based.
+    pub number: usize,
+    /// The line with string/char literals blanked and comments removed.
+    pub code: String,
+    /// Concatenated comment text on the line (line + block comments).
+    pub comment: String,
+    /// Whether the line sits inside a `#[cfg(test)]` item.
+    pub in_cfg_test: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Code,
+    Block(u32),
+    Str,
+    RawStr(u32),
+}
+
+/// Splits `source` into [`ScannedLine`]s.
+///
+/// The scanner is conservative: if it misclassifies an exotic token
+/// sequence, the worst case is a spurious lint that can be silenced with
+/// an explicit `// lint: allow(...)` annotation.
+#[allow(clippy::too_many_lines)]
+pub fn scan(source: &str) -> Vec<ScannedLine> {
+    let mut out = Vec::new();
+    let mut mode = Mode::Code;
+
+    // `#[cfg(test)]` tracking: once armed, the next block start opens an
+    // exempt region that lasts until brace depth drops back.
+    let mut depth: i64 = 0;
+    let mut cfg_test_armed = false;
+    let mut cfg_test_until: Option<i64> = None;
+
+    for (idx, raw) in source.lines().enumerate() {
+        let mut code = String::with_capacity(raw.len());
+        let mut comment = String::new();
+        let bytes: Vec<char> = raw.chars().collect();
+        let mut i = 0usize;
+        let in_test_at_start = cfg_test_until.is_some();
+
+        // Arm before processing so `#[cfg(test)] mod tests {` on a single
+        // line opens its region with the brace on the same line.
+        if mode == Mode::Code && raw.contains("#[cfg(test)]") {
+            cfg_test_armed = true;
+        }
+
+        while i < bytes.len() {
+            let c = bytes[i];
+            let next = bytes.get(i + 1).copied();
+            match mode {
+                Mode::Block(level) => {
+                    if c == '/' && next == Some('*') {
+                        mode = Mode::Block(level + 1);
+                        i += 2;
+                    } else if c == '*' && next == Some('/') {
+                        mode = if level == 1 {
+                            Mode::Code
+                        } else {
+                            Mode::Block(level - 1)
+                        };
+                        i += 2;
+                    } else {
+                        comment.push(c);
+                        i += 1;
+                    }
+                }
+                Mode::Str => {
+                    if c == '\\' {
+                        i += 2;
+                    } else if c == '"' {
+                        mode = Mode::Code;
+                        code.push('"');
+                        i += 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                Mode::RawStr(hashes) => {
+                    if c == '"' {
+                        let mut n = 0u32;
+                        while n < hashes && bytes.get(i + 1 + n as usize) == Some(&'#') {
+                            n += 1;
+                        }
+                        if n == hashes {
+                            mode = Mode::Code;
+                            code.push('"');
+                            i += 1 + hashes as usize;
+                            continue;
+                        }
+                    }
+                    i += 1;
+                }
+                Mode::Code => {
+                    if c == '/' && next == Some('/') {
+                        comment.push_str(&raw[char_offset(raw, i) + 2..]);
+                        break;
+                    } else if c == '/' && next == Some('*') {
+                        mode = Mode::Block(1);
+                        i += 2;
+                    } else if c == '"' {
+                        code.push('"');
+                        mode = Mode::Str;
+                        i += 1;
+                    } else if c == 'r'
+                        && matches!(next, Some('"' | '#'))
+                        && !prev_is_ident(&bytes, i)
+                    {
+                        // Raw string: r"..." or r#"..."#.
+                        let mut hashes = 0u32;
+                        let mut j = i + 1;
+                        while bytes.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if bytes.get(j) == Some(&'"') {
+                            code.push('"');
+                            mode = Mode::RawStr(hashes);
+                            i = j + 1;
+                        } else {
+                            code.push(c);
+                            i += 1;
+                        }
+                    } else if c == '\'' {
+                        // Char literal vs lifetime. A char literal closes
+                        // with a quote within a few chars.
+                        if let Some(len) = char_literal_len(&bytes, i) {
+                            code.push_str("' '");
+                            i += len;
+                        } else {
+                            code.push(c);
+                            i += 1;
+                        }
+                    } else {
+                        if c == '{' {
+                            depth += 1;
+                            if cfg_test_armed {
+                                cfg_test_armed = false;
+                                cfg_test_until = Some(depth);
+                            }
+                        } else if c == '}' {
+                            if cfg_test_until == Some(depth) {
+                                cfg_test_until = None;
+                            }
+                            depth -= 1;
+                        }
+                        code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+
+        out.push(ScannedLine {
+            number: idx + 1,
+            code,
+            comment,
+            in_cfg_test: in_test_at_start || cfg_test_until.is_some(),
+        });
+    }
+    out
+}
+
+/// Byte offset of the `i`-th char in `s` (lines are short; linear is fine).
+fn char_offset(s: &str, i: usize) -> usize {
+    s.char_indices()
+        .nth(i)
+        .map_or_else(|| s.len(), |(off, _)| off)
+}
+
+fn prev_is_ident(bytes: &[char], i: usize) -> bool {
+    i.checked_sub(1)
+        .and_then(|p| bytes.get(p))
+        .is_some_and(|c| c.is_alphanumeric() || *c == '_')
+}
+
+/// If position `i` (at a `'`) starts a char literal, returns its length.
+fn char_literal_len(bytes: &[char], i: usize) -> Option<usize> {
+    // 'x', '\n', '\u{...}', '\''.
+    let mut j = i + 1;
+    if bytes.get(j) == Some(&'\\') {
+        j += 2;
+        while j < bytes.len() && bytes[j] != '\'' && j - i < 12 {
+            j += 1;
+        }
+        (bytes.get(j) == Some(&'\'')).then(|| j - i + 1)
+    } else {
+        (bytes.get(j).is_some() && bytes.get(j + 1) == Some(&'\'')).then_some(3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::scan;
+
+    #[test]
+    fn strings_and_comments_are_stripped() {
+        let lines = scan("let x = \"a.unwrap()\"; // trailing .unwrap()\n");
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(lines[0].comment.contains("trailing .unwrap()"));
+    }
+
+    #[test]
+    fn block_comments_span_lines_and_nest() {
+        let src = "a /* one /* two */ still */ b\n/* open\nunwrap()\n*/ c\n";
+        let lines = scan(src);
+        assert!(lines[0].code.contains('a') && lines[0].code.contains('b'));
+        assert!(!lines[2].code.contains("unwrap"));
+        assert!(lines[3].code.contains('c'));
+    }
+
+    #[test]
+    fn raw_strings_are_stripped() {
+        let lines = scan("let s = r#\"panic!(\"x\")\"#; let t = 1;\n");
+        assert!(!lines[0].code.contains("panic"));
+        assert!(lines[0].code.contains("let t = 1"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lines = scan("fn f<'a>(x: &'a str) -> &'a str { x }\n");
+        assert!(lines[0].code.contains("fn f<'a>"));
+    }
+
+    #[test]
+    fn char_literals_are_blanked() {
+        let lines = scan("let c = '\"'; let d = 2;\n");
+        assert!(lines[0].code.contains("let d = 2"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_tracked() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let lines = scan(src);
+        assert!(!lines[0].in_cfg_test);
+        assert!(lines[3].in_cfg_test, "{lines:?}");
+        assert!(!lines[5].in_cfg_test);
+    }
+}

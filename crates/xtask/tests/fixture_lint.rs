@@ -1,0 +1,98 @@
+//! End-to-end fixture tests for `cargo xtask lint`: run the real binary
+//! against seeded fixture workspaces under `tests/fixtures/` and assert
+//! every deliberately planted violation is detected (and nothing else).
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+fn run_lint(fixture: &str) -> Output {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(fixture);
+    Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["lint", "--root"])
+        .arg(&root)
+        .output()
+        .expect("xtask binary runs")
+}
+
+#[test]
+fn seeded_violations_are_each_detected() {
+    let out = run_lint("seeded");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !out.status.success(),
+        "seeded fixture must fail the gate:\n{stdout}"
+    );
+
+    // One expectation per planted violation: `file:line: [rule]`.
+    let expected = [
+        (
+            "src/lib.rs:1: [crate-root-attrs]",
+            "missing forbid(unsafe_code)",
+        ),
+        (
+            "src/lib.rs:1: [crate-root-attrs]",
+            "missing warn(missing_docs)",
+        ),
+        ("src/lib.rs:5: [no-panic]", "unwrap in library code"),
+        (
+            "src/lib.rs:9: [nan-ordering]",
+            "partial_cmp().unwrap() sort",
+        ),
+        ("src/lib.rs:13: [db-linear]", "dB × linear multiply"),
+        (
+            "crates/rfmath/src/lib.rs:8: [lossy-cast]",
+            "undocumented f64→f32 truncation",
+        ),
+    ];
+    for (needle, what) in expected {
+        assert!(
+            stdout.contains(needle),
+            "expected {what} at `{needle}`; got:\n{stdout}"
+        );
+    }
+
+    // Exactly the planted violations — the escape-hatched sites, the
+    // binary entry point and the #[cfg(test)] module must stay quiet.
+    // (crate-root-attrs fires once per missing attribute.)
+    assert!(
+        stdout.contains("xtask lint: 6 violation(s)"),
+        "exactly the 6 seeded violations should fire:\n{stdout}"
+    );
+    assert!(
+        !stdout.contains("bin/tool.rs"),
+        "binary entry points are exempt:\n{stdout}"
+    );
+    assert!(
+        !stdout.contains(":17:") && !stdout.contains(":18:"),
+        "escape-hatched sites must be suppressed:\n{stdout}"
+    );
+}
+
+#[test]
+fn clean_fixture_passes() {
+    let out = run_lint("clean");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "clean fixture must pass:\n{stdout}");
+    assert!(stdout.contains("xtask lint: clean"), "{stdout}");
+}
+
+#[test]
+fn rules_subcommand_lists_every_rule() {
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .arg("rules")
+        .output()
+        .expect("xtask binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success());
+    for rule in [
+        "no-panic",
+        "nan-ordering",
+        "lossy-cast",
+        "crate-root-attrs",
+        "db-linear",
+    ] {
+        assert!(stdout.contains(rule), "missing rule `{rule}`:\n{stdout}");
+    }
+}

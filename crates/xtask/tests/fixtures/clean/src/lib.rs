@@ -1,0 +1,10 @@
+//! Fixture crate root with both required attributes and no violations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Total float ordering, the NaN-safe way.
+pub fn sorted(mut v: Vec<f64>) -> Vec<f64> {
+    v.sort_by(f64::total_cmp);
+    v
+}

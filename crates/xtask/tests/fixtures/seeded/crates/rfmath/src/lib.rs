@@ -1,0 +1,23 @@
+//! Fixture numeric-kernel crate: carries both root attributes (so
+//! `crate-root-attrs` stays quiet) but holds one undocumented lossy cast.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub fn truncates(x: f64) -> f32 {
+    x as f32
+}
+
+pub fn documented(x: f64) -> usize {
+    // lint: allow(lossy-cast) — fixture: bounded by the caller's grid length
+    x.floor() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unit_tests_may_panic() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

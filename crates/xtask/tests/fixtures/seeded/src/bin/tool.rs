@@ -1,0 +1,7 @@
+//! Binary entry points are exempt from `no-panic`; nothing in this file
+//! may be reported.
+
+fn main() {
+    let v: Option<u32> = None;
+    v.expect("binaries may panic");
+}

@@ -1,0 +1,19 @@
+//! Fixture crate root that is missing both required inner attributes, so
+//! the `crate-root-attrs` rule must fire twice on this file.
+
+pub fn panics(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn nan_unsafe(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn unit_confused(gain_db: f64, noise_power: f64) -> f64 {
+    gain_db * noise_power
+}
+
+pub fn suppressed(x: Option<u32>) -> u32 {
+    // lint: allow(no-panic) — fixture: annotated escape hatch must suppress
+    x.unwrap()
+}

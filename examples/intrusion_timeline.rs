@@ -4,9 +4,9 @@
 //!
 //! Run with `cargo run --release --example intrusion_timeline`.
 
-use multipath_hd::prelude::*;
 use mpdf_core::variance::motion_score;
 use mpdf_propagation::trajectory::LinearWalk;
+use multipath_hd::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let room = Environment::empty_room(Rect::new(Vec2::ZERO, Vec2::new(8.0, 6.0)));
@@ -51,14 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if d.detected {
             intrusion_windows += 1;
         }
-        println!(
-            "{t:5.1}  {:14.4}  {:12.3}  {verdict}",
-            d.score, motion
-        );
+        println!("{t:5.1}  {:14.4}  {:12.3}  {verdict}", d.score, motion);
     }
     println!(
-        "\n{} windows flagged; the walk spans t=4.0..8.0 s — decisions land within one window (0.5 s), the paper's sub-second response claim",
-        intrusion_windows
+        "\n{intrusion_windows} windows flagged; the walk spans t=4.0..8.0 s — decisions land within one window (0.5 s), the paper's sub-second response claim"
     );
     Ok(())
 }

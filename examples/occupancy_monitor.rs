@@ -8,8 +8,8 @@
 //!
 //! Run with `cargo run --release --example occupancy_monitor`.
 
-use multipath_hd::prelude::*;
 use mpdf_propagation::trajectory::{StaticSway, Trajectory, WaypointWalk};
+use multipath_hd::prelude::*;
 
 /// A person's schedule: enter, sit somewhere, leave.
 struct Visit {
@@ -35,9 +35,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The compressed day: 120 s at 50 pkt/s = 6000 packets.
     let day_s = 120.0;
     let visits = [
-        Visit { enter_s: 10.0, leave_s: 50.0, seat: Vec2::new(3.0, 4.5) },
-        Visit { enter_s: 25.0, leave_s: 80.0, seat: Vec2::new(5.0, 1.8) },
-        Visit { enter_s: 60.0, leave_s: 100.0, seat: Vec2::new(4.2, 4.0) },
+        Visit {
+            enter_s: 10.0,
+            leave_s: 50.0,
+            seat: Vec2::new(3.0, 4.5),
+        },
+        Visit {
+            enter_s: 25.0,
+            leave_s: 80.0,
+            seat: Vec2::new(5.0, 1.8),
+        },
+        Visit {
+            enter_s: 60.0,
+            leave_s: 100.0,
+            seat: Vec2::new(4.2, 4.0),
+        },
     ];
     let door = Vec2::new(7.6, 5.6);
 

@@ -4,13 +4,16 @@
 //!
 //! Run with `cargo run --release --example record_replay [capture.mpdf]`.
 
-use multipath_hd::prelude::*;
 use mpdf_wifi::trace::{read_capture, write_capture};
+use multipath_hd::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| std::env::temp_dir().join("campaign.mpdf").display().to_string());
+    let path = std::env::args().nth(1).unwrap_or_else(|| {
+        std::env::temp_dir()
+            .join("campaign.mpdf")
+            .display()
+            .to_string()
+    });
 
     // --- Record: a calibration session plus labelled monitoring windows.
     let room = Environment::empty_room(Rect::new(Vec2::ZERO, Vec2::new(8.0, 6.0)));

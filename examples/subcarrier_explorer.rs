@@ -4,11 +4,11 @@
 //!
 //! Run with `cargo run --release --example subcarrier_explorer`.
 
-use multipath_hd::prelude::*;
 use mpdf_core::multipath_factor::multipath_factors;
 use mpdf_core::subcarrier_weight::SubcarrierWeights;
 use mpdf_wifi::csi::CsiPacket;
 use mpdf_wifi::sanitize::sanitize_packet;
+use multipath_hd::prelude::*;
 
 fn bar(x: f64, scale: f64) -> String {
     let n = ((x * scale).round().max(0.0) as usize).min(40);

@@ -169,9 +169,6 @@ fn music_locates_a_strong_scatterer_through_the_full_stack() {
     .unwrap();
     // LOS arrives broadside (0°) on the default +y-axis array for this
     // x-aligned link.
-    let best = angles
-        .iter()
-        .map(|a| a.abs())
-        .fold(f64::MAX, f64::min);
+    let best = angles.iter().map(|a| a.abs()).fold(f64::MAX, f64::min);
     assert!(best < 10.0, "LOS angle estimate off by {best}°: {angles:?}");
 }

@@ -1,7 +1,7 @@
 //! Failure injection and determinism across the full stack.
 
-use multipath_hd::prelude::*;
 use mpdf_core::error::DetectError;
+use multipath_hd::prelude::*;
 
 fn classroom_link() -> ChannelModel {
     let env = mpdf_eval::scenario::classroom();
@@ -33,13 +33,7 @@ fn empty_and_misshapen_windows_error_cleanly() {
     .unwrap();
     assert_eq!(det.decide(&[]), Err(DetectError::EmptyWindow));
 
-    let bad = mpdf_wifi::CsiPacket::new(
-        2,
-        30,
-        vec![mpdf_rfmath::Complex64::ONE; 60],
-        0,
-        0.0,
-    );
+    let bad = mpdf_wifi::CsiPacket::new(2, 30, vec![mpdf_rfmath::Complex64::ONE; 60], 0, 0.0);
     assert!(matches!(
         det.decide(&[bad]),
         Err(DetectError::ShapeMismatch { .. })
@@ -50,8 +44,8 @@ fn empty_and_misshapen_windows_error_cleanly() {
 fn too_little_calibration_is_reported() {
     let mut rx = CsiReceiver::new(classroom_link(), 2).unwrap();
     let calibration = rx.capture_static(None, 20).unwrap();
-    let err = Detector::calibrate(&calibration, Baseline, DetectorConfig::default(), 0.1)
-        .unwrap_err();
+    let err =
+        Detector::calibrate(&calibration, Baseline, DetectorConfig::default(), 0.1).unwrap_err();
     assert!(matches!(err, DetectError::InsufficientCalibration { .. }));
 }
 
@@ -89,14 +83,16 @@ fn fully_blocked_link_still_measures() {
         Rect::new(Vec2::new(-4.0, -3.0), Vec2::new(12.0, 9.0)),
         Material::CONCRETE,
     );
-    b.furniture(Rect::new(Vec2::new(3.6, 2.4), Vec2::new(4.4, 3.6)), Material::METAL);
+    b.furniture(
+        Rect::new(Vec2::new(3.6, 2.4), Vec2::new(4.4, 3.6)),
+        Material::METAL,
+    );
     let env = b.build();
     let link = ChannelModel::new(env, Vec2::new(2.0, 3.0), Vec2::new(6.0, 3.0)).unwrap();
     let mut rx = CsiReceiver::new(link, 4).unwrap();
     let packets = rx.capture_static(None, 50).unwrap();
     assert!(packets.iter().all(|p| p.total_power().is_finite()));
-    let profile =
-        CalibrationProfile::build(&packets, &DetectorConfig::default()).unwrap();
+    let profile = CalibrationProfile::build(&packets, &DetectorConfig::default()).unwrap();
     assert!(profile.static_power().iter().all(|p| p.is_finite()));
 }
 
@@ -111,12 +107,8 @@ fn whole_campaign_is_deterministic() {
     let cases = mpdf_eval::scenario::five_cases();
     let run = || {
         let data = mpdf_eval::workload::run_campaign(&cases[..2], &cfg).unwrap();
-        mpdf_eval::workload::score_campaign(
-            &data,
-            &SubcarrierAndPathWeighting,
-            &cfg.detector,
-        )
-        .unwrap()
+        mpdf_eval::workload::score_campaign(&data, &SubcarrierAndPathWeighting, &cfg.detector)
+            .unwrap()
     };
     let a = run();
     let b = run();

@@ -1,0 +1,221 @@
+//! Offline stand-in for `rand` 0.8.
+//!
+//! The build container cannot reach crates.io, so the workspace vendors a
+//! minimal API-compatible subset of its external dependencies (see
+//! `vendor/README.md`). This crate covers exactly the surface the
+//! workspace uses: `RngCore`/`SeedableRng`, the [`Rng::gen_range`]
+//! extension over half-open and inclusive ranges, and
+//! [`rngs::SmallRng`] seeded via `seed_from_u64`.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — the same
+//! construction real `rand 0.8` uses for `SmallRng` on 64-bit targets, so
+//! seeded streams are high quality and deterministic across runs (though
+//! not bit-identical to upstream `rand`).
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core trait: a source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&word[..n]);
+        }
+    }
+}
+
+/// A random generator constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Seed type.
+    type Seed;
+
+    /// Constructs the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Constructs the generator from a `u64`, expanding it with SplitMix64.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a range by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl SampleRange<usize> for Range<usize> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> usize {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let span = (self.end - self.start) as u64;
+        self.start + (rng.next_u64() % span) as usize
+    }
+}
+
+impl SampleRange<usize> for RangeInclusive<usize> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> usize {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample empty range");
+        let span = (end - start) as u64 + 1;
+        start + (rng.next_u64() % span) as usize
+    }
+}
+
+impl SampleRange<u64> for Range<u64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> u64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + rng.next_u64() % (self.end - self.start)
+    }
+}
+
+impl SampleRange<i32> for Range<i32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> i32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let span = (self.end as i64 - self.start as i64) as u64;
+        self.start + (rng.next_u64() % span) as i32
+    }
+}
+
+/// Extension methods over any [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Draws a uniform sample from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_range(0.0..1.0) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Stand-in for `rand::rngs::SmallRng`: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&seed[i * 8..i * 8 + 8]);
+                *word = u64::from_le_bytes(b);
+            }
+            if s == [0; 4] {
+                s = [1, 2, 3, 4];
+            }
+            Self { s }
+        }
+
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            Self { s }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn f64_samples_stay_in_range() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-3.0..5.0);
+            assert!((-3.0..5.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn inclusive_range_hits_both_ends() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let (mut lo, mut hi) = (false, false);
+        for _ in 0..1000 {
+            match rng.gen_range(0usize..=3) {
+                0 => lo = true,
+                3 => hi = true,
+                _ => {}
+            }
+        }
+        assert!(lo && hi);
+    }
+
+    #[test]
+    fn mean_of_unit_samples_is_centered() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| rng.gen_range(0.0..1.0)).sum();
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

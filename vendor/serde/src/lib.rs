@@ -1,0 +1,34 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container cannot reach crates.io, so the workspace vendors a
+//! minimal API-compatible subset of its external dependencies (see
+//! `vendor/README.md`). This crate keeps the *type-level* serde contract —
+//! `#[derive(Serialize, Deserialize)]` compiles and `T: Serialize` bounds
+//! are satisfiable — without any runtime (de)serialization machinery,
+//! which nothing in the workspace currently uses.
+//!
+//! `Serialize` and `Deserialize` are marker traits with blanket impls, so
+//! every type trivially satisfies them; the derive macros in the sibling
+//! `serde_derive` stub expand to nothing.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`. Blanket-implemented for all types.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`. Blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Subset of `serde::de` needed for `DeserializeOwned` bounds.
+pub mod de {
+    /// Marker stand-in for `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned {}
+    impl<T> DeserializeOwned for T {}
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

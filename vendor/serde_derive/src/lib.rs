@@ -1,0 +1,25 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build container has no access to crates.io, so the workspace vendors
+//! a minimal API-compatible subset of its external dependencies (see
+//! `vendor/README.md`). Nothing in this repository serializes data through
+//! serde at runtime — the derives exist so public types advertise the
+//! serde contract — so the derive macros here validate nothing and emit an
+//! empty token stream. The matching `vendor/serde` crate provides blanket
+//! trait impls, which keeps `T: Serialize` bounds satisfied.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (including `#[serde(...)]` helper
+/// attributes) and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (including `#[serde(...)]` helper
+/// attributes) and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
