@@ -94,6 +94,14 @@ fn bench_detection(c: &mut Criterion) {
     g.bench_function("music_pseudospectrum_181pt", |b| {
         b.iter(|| black_box(pseudospectrum(&r, &steering, 2, &grid).unwrap()));
     });
+    // The full per-decision AoA pipeline: covariance → eig → angle scan.
+    g.bench_function("music_pipeline_cov_eig_scan", |b| {
+        b.iter(|| {
+            let r = sample_covariance(black_box(&snaps)).unwrap();
+            let fb = mpdf_music::covariance::forward_backward(&r);
+            black_box(pseudospectrum(&fb, &steering, 2, &grid).unwrap())
+        });
+    });
     // The three per-window decisions — the §V-B4 latency story.
     g.bench_function("score_baseline_25pkt", |b| {
         b.iter(|| black_box(Baseline.score(&profile, &window, &config).unwrap()));

@@ -1,17 +1,60 @@
 //! `repro` — regenerate any table/figure of the paper's evaluation.
 //!
-//! Usage: `repro [options] <experiment>...`
-//!
-//! Experiments: `fig2a fig2b fig3 fig4 fig5b fig5c fig7 fig8 fig9 fig10
-//! fig11 fig12 ext-hmm ext-array ext-ablate all`
-//!
-//! Options (all take a number unless noted): `--snr --bg --bgdist --sway
-//! --seed --episodes --drift --gaindrift --intf --intfpow --locations
-//! --packets --csvdir <dir>` (the last exports each experiment's key
-//! series as CSV for plotting)
+//! Usage: `repro [options] <experiment>...`; see [`USAGE`] (or
+//! `repro --help`) for the experiment list and options. Experiments run
+//! in parallel on `--threads` workers with output printed in request
+//! order, so `repro all --threads 8` is byte-identical on stdout (and in
+//! `--csvdir` artifacts) to `repro all --threads 1`.
 
 use mpdf_eval::experiments as exp;
 use mpdf_eval::workload::CampaignConfig;
+
+/// Known experiment names, in `all` execution order.
+const ALL_EXPERIMENTS: [&str; 16] = [
+    "fig2a",
+    "fig2b",
+    "fig3",
+    "fig4",
+    "fig5b",
+    "fig5c",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "ext-hmm",
+    "ext-array",
+    "ext-ablate",
+    "ext-sweep",
+];
+
+/// Help text; printed on `--help` and after usage errors.
+const USAGE: &str = "\
+usage: repro [options] <experiment>...
+
+experiments:
+  fig2a fig2b fig3 fig4 fig5b fig5c fig7 fig8 fig9 fig10 fig11 fig12
+  ext-hmm ext-array ext-ablate ext-sweep all
+  (default: fig7)
+
+options:
+  --snr <db>         per-subcarrier SNR in dB
+  --bg <rate>        background-dynamics rate in [0, 1]
+  --bgdist <m>       minimum background-walker distance from the link
+  --sway <m>         sway amplitude of the monitored person
+  --seed <u64>       base RNG seed (non-negative integer)
+  --episodes <n>     windows per human grid position
+  --drift <rel>      session clutter-drift relative amplitude
+  --gaindrift <db>   peak session gain drift in dB
+  --intf <p>         narrowband interference probability in [0, 1]
+  --intfpow <db>     interference power relative to the signal
+  --locations <n>    sample locations for fig2a/fig3
+  --packets <n>      packets for fig2b
+  --threads <n>      worker threads (0 = all cores); output is identical
+                     for every value
+  --csvdir <dir>     export each experiment's key series as CSV
+  --help             print this message";
 
 struct Options {
     cfg: CampaignConfig,
@@ -19,278 +62,320 @@ struct Options {
     packets: usize,
     csv_dir: Option<std::path::PathBuf>,
     experiments: Vec<String>,
+    help: bool,
 }
 
-fn parse_args() -> Options {
+/// Parses a flag value with a strict grammar, rejecting what `v as u64`
+/// style casts used to silently accept (negatives, fractions, overflow).
+fn parse_num<T: std::str::FromStr>(flag: &str, value: &str, what: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("bad value `{value}` for --{flag}: expected {what}"))
+}
+
+fn parse_float(flag: &str, value: &str) -> Result<f64, String> {
+    let v: f64 = parse_num(flag, value, "a finite number")?;
+    if v.is_finite() {
+        Ok(v)
+    } else {
+        Err(format!("bad value `{value}` for --{flag}: must be finite"))
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut cfg = CampaignConfig::default();
     let mut locations = 300usize;
     let mut packets = 1000usize;
     let mut experiments = Vec::new();
     let mut csv_dir = None;
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut help = false;
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
-        if let Some(flag) = a.strip_prefix("--") {
-            if flag == "csvdir" {
-                csv_dir = Some(std::path::PathBuf::from(
-                    iter.next().expect("missing value for --csvdir"),
-                ));
-                continue;
-            }
-            let v: f64 = iter
-                .next()
-                .unwrap_or_else(|| panic!("missing value for --{flag}"))
-                .parse()
-                .unwrap_or_else(|_| panic!("bad value for --{flag}"));
-            match flag {
-                "snr" => cfg.snr_db = v,
-                "bg" => cfg.background_rate = v,
-                "bgdist" => cfg.background_distance = v,
-                "sway" => cfg.sway_amplitude = v,
-                "seed" => cfg.seed = v as u64,
-                "episodes" => cfg.episodes_per_position = v as usize,
-                "drift" => cfg.clutter_drift_rel = v,
-                "gaindrift" => cfg.session_gain_drift_db = v,
-                "intf" => cfg.interference_prob = v,
-                "intfpow" => cfg.interference_power_db = v,
-                "locations" => locations = v as usize,
-                "packets" => packets = v as usize,
-                other => panic!("unknown option --{other}"),
-            }
-        } else {
+        let Some(flag) = a.strip_prefix("--") else {
             experiments.push(a.clone());
+            continue;
+        };
+        if flag == "help" {
+            help = true;
+            continue;
+        }
+        let value = iter
+            .next()
+            .ok_or_else(|| format!("missing value for --{flag}"))?;
+        match flag {
+            "snr" => cfg.snr_db = parse_float(flag, value)?,
+            "bg" => cfg.background_rate = parse_float(flag, value)?,
+            "bgdist" => cfg.background_distance = parse_float(flag, value)?,
+            "sway" => cfg.sway_amplitude = parse_float(flag, value)?,
+            "seed" => cfg.seed = parse_num(flag, value, "a non-negative integer")?,
+            "episodes" => {
+                cfg.episodes_per_position = parse_num(flag, value, "a non-negative integer")?;
+            }
+            "drift" => cfg.clutter_drift_rel = parse_float(flag, value)?,
+            "gaindrift" => cfg.session_gain_drift_db = parse_float(flag, value)?,
+            "intf" => cfg.interference_prob = parse_float(flag, value)?,
+            "intfpow" => cfg.interference_power_db = parse_float(flag, value)?,
+            "locations" => locations = parse_num(flag, value, "a non-negative integer")?,
+            "packets" => packets = parse_num(flag, value, "a non-negative integer")?,
+            "threads" => cfg.threads = parse_num(flag, value, "a non-negative integer")?,
+            "csvdir" => csv_dir = Some(std::path::PathBuf::from(value)),
+            other => return Err(format!("unknown option --{other}")),
         }
     }
     if experiments.is_empty() {
         experiments.push("fig7".to_string());
     }
-    Options {
+    Ok(Options {
         cfg,
         locations,
         packets,
         csv_dir,
         experiments,
-    }
+        help,
+    })
 }
 
-/// Writes a CSV artifact if `--csvdir` was given.
-fn write_csv(dir: &Option<std::path::PathBuf>, name: &str, contents: String) {
-    if let Some(dir) = dir {
-        std::fs::create_dir_all(dir).expect("create csv dir");
-        let path = dir.join(format!("{name}.csv"));
-        std::fs::write(&path, contents).expect("write csv");
-        eprintln!("wrote {}", path.display());
-    }
+/// The renderable product of one experiment: the stdout report plus any
+/// CSV artifacts, generated on a worker and emitted later in request
+/// order so parallel runs print exactly what serial runs print.
+struct ExperimentOutput {
+    report: String,
+    csvs: Vec<(String, String)>,
+    seconds: f64,
+}
+
+fn run_experiment(name: &str, opts: &Options) -> Result<ExperimentOutput, String> {
+    let started = std::time::Instant::now();
+    let mut csvs: Vec<(String, String)> = Vec::new();
+    let err = |e: mpdf_core::error::DetectError| format!("{name}: {e}");
+    let report = match name {
+        "fig2a" => {
+            let r = exp::fig2::run_fig2a(&opts.cfg, opts.locations).map_err(err)?;
+            csvs.push((
+                "fig2a_cdf".into(),
+                mpdf_eval::report::csv_series("delta_s_db", "cdf", &r.cdf),
+            ));
+            exp::fig2::report_fig2a(&r)
+        }
+        "fig2b" => {
+            let r = exp::fig2::run_fig2b(&opts.cfg, opts.packets).map_err(err)?;
+            csvs.push((
+                "fig2b_drop_slot".into(),
+                mpdf_eval::report::csv_series("packet", "ds_db", &r.subcarrier_a),
+            ));
+            csvs.push((
+                "fig2b_rise_slot".into(),
+                mpdf_eval::report::csv_series("packet", "ds_db", &r.subcarrier_b),
+            ));
+            exp::fig2::report_fig2b(&r)
+        }
+        "fig3" => {
+            let r = exp::fig3::run(&opts.cfg, opts.locations).map_err(err)?;
+            csvs.push((
+                "fig3a_cdf".into(),
+                mpdf_eval::report::csv_series("mu", "cdf", &r.distribution.cdf),
+            ));
+            let mut rows = vec![vec!["slot".into(), "a".into(), "b".into(), "r2".into()]];
+            for f in &r.fits {
+                rows.push(vec![
+                    f.slot.to_string(),
+                    f.fit.slope.to_string(),
+                    f.fit.intercept.to_string(),
+                    f.fit.r_squared.to_string(),
+                ]);
+            }
+            csvs.push(("fig3c_fits".into(), mpdf_eval::report::csv(&rows)));
+            exp::fig3::report(&r)
+        }
+        "fig4" => exp::fig4::report(&exp::fig4::run(&opts.cfg, 2000).map_err(err)?),
+        "fig5b" => {
+            let r = exp::fig5::run_fig5b(&opts.cfg).map_err(err)?;
+            csvs.push((
+                "fig5b_spectrum".into(),
+                mpdf_eval::report::csv_series("angle_deg", "ps", &r.spectrum),
+            ));
+            exp::fig5::report_fig5b(&r)
+        }
+        "fig5c" => {
+            let r = exp::fig5::run_fig5c(&opts.cfg).map_err(err)?;
+            csvs.push((
+                "fig5c_rss_by_angle".into(),
+                mpdf_eval::report::csv_series(
+                    "angle_deg",
+                    "mean_abs_ds_db",
+                    &r.rss_change_by_angle,
+                ),
+            ));
+            exp::fig5::report_fig5c(&r)
+        }
+        "fig7" => {
+            let r = exp::fig7::run(&opts.cfg).map_err(err)?;
+            for s in &r.schemes {
+                let tag = s.name.replace(['+', ' '], "_");
+                csvs.push((
+                    format!("fig7_roc_{tag}"),
+                    mpdf_eval::report::csv_series("fp", "tp", &s.roc_points),
+                ));
+            }
+            exp::fig7::report(&r)
+        }
+        "fig8" => {
+            let r = exp::fig8::run(&opts.cfg).map_err(err)?;
+            let mut rows = vec![vec![
+                "case".into(),
+                "baseline".into(),
+                "subcarrier".into(),
+                "combined".into(),
+            ]];
+            for (id, b, s2, c) in &r.rows {
+                rows.push(vec![
+                    id.to_string(),
+                    b.to_string(),
+                    s2.to_string(),
+                    c.to_string(),
+                ]);
+            }
+            csvs.push(("fig8_cases".into(), mpdf_eval::report::csv(&rows)));
+            exp::fig8::report(&r)
+        }
+        "fig9" => {
+            let r = exp::fig9::run(&opts.cfg).map_err(err)?;
+            let mut rows = vec![vec![
+                "distance_m".into(),
+                "baseline".into(),
+                "subcarrier".into(),
+                "combined".into(),
+            ]];
+            for (d, b, s2, c) in &r.rows {
+                rows.push(vec![
+                    d.to_string(),
+                    b.to_string(),
+                    s2.to_string(),
+                    c.to_string(),
+                ]);
+            }
+            csvs.push(("fig9_distance".into(), mpdf_eval::report::csv(&rows)));
+            exp::fig9::report(&r)
+        }
+        "fig10" => {
+            let r = exp::fig10::run(&opts.cfg).map_err(err)?;
+            csvs.push((
+                "fig10_single_packet".into(),
+                mpdf_eval::report::csv_series("error_deg", "cdf", &r.single_packet_cdf),
+            ));
+            csvs.push((
+                "fig10_averaged".into(),
+                mpdf_eval::report::csv_series("error_deg", "cdf", &r.averaged_cdf),
+            ));
+            exp::fig10::report(&r)
+        }
+        "fig11" => {
+            let r = exp::fig11::run(&opts.cfg).map_err(err)?;
+            let mut rows = vec![vec![
+                "angle_deg".into(),
+                "subcarrier".into(),
+                "combined".into(),
+            ]];
+            for (a, s2, c) in &r.rows {
+                rows.push(vec![a.to_string(), s2.to_string(), c.to_string()]);
+            }
+            csvs.push(("fig11_angles".into(), mpdf_eval::report::csv(&rows)));
+            exp::fig11::report(&r)
+        }
+        "fig12" => {
+            let r = exp::fig12::run(&opts.cfg).map_err(err)?;
+            let mut rows = vec![vec![
+                "packets".into(),
+                "seconds".into(),
+                "baseline".into(),
+                "subcarrier".into(),
+                "combined".into(),
+            ]];
+            for (w, t, b, s2, c) in &r.rows {
+                rows.push(vec![
+                    w.to_string(),
+                    t.to_string(),
+                    b.to_string(),
+                    s2.to_string(),
+                    c.to_string(),
+                ]);
+            }
+            csvs.push(("fig12_windows".into(), mpdf_eval::report::csv(&rows)));
+            exp::fig12::report(&r)
+        }
+        "ext-hmm" => exp::ext_hmm::report(&exp::ext_hmm::run(&opts.cfg).map_err(err)?),
+        "ext-array" => exp::ext_array::report(&exp::ext_array::run(&opts.cfg).map_err(err)?),
+        "ext-sweep" => exp::ext_sweep::report(&exp::ext_sweep::run(&opts.cfg).map_err(err)?),
+        "ext-ablate" => exp::ext_ablate::report(&exp::ext_ablate::run(&opts.cfg).map_err(err)?),
+        other => return Err(format!("unknown experiment `{other}`")),
+    };
+    Ok(ExperimentOutput {
+        report,
+        csvs,
+        seconds: started.elapsed().as_secs_f64(),
+    })
+}
+
+/// Writes one CSV artifact under `dir`.
+fn write_csv(dir: &std::path::Path, name: &str, contents: &str) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let path = dir.join(format!("{name}.csv"));
+    std::fs::write(&path, contents).map_err(|e| format!("write {}: {e}", path.display()))?;
+    eprintln!("wrote {}", path.display());
+    Ok(())
 }
 
 fn main() {
-    let opts = parse_args();
-    let all = [
-        "fig2a",
-        "fig2b",
-        "fig3",
-        "fig4",
-        "fig5b",
-        "fig5c",
-        "fig7",
-        "fig8",
-        "fig9",
-        "fig10",
-        "fig11",
-        "fig12",
-        "ext-hmm",
-        "ext-array",
-        "ext-ablate",
-        "ext-sweep",
-    ];
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if opts.help {
+        println!("{USAGE}");
+        return;
+    }
     let selected: Vec<&str> = if opts.experiments.iter().any(|e| e == "all") {
-        all.to_vec()
+        ALL_EXPERIMENTS.to_vec()
     } else {
         opts.experiments.iter().map(String::as_str).collect()
     };
-    for name in selected {
-        let started = std::time::Instant::now();
-        let csv = &opts.csv_dir;
-        let report = match name {
-            "fig2a" => {
-                let r = exp::fig2::run_fig2a(&opts.cfg, opts.locations).expect("fig2a");
-                write_csv(
-                    csv,
-                    "fig2a_cdf",
-                    mpdf_eval::report::csv_series("delta_s_db", "cdf", &r.cdf),
-                );
-                exp::fig2::report_fig2a(&r)
-            }
-            "fig2b" => {
-                let r = exp::fig2::run_fig2b(&opts.cfg, opts.packets).expect("fig2b");
-                write_csv(
-                    csv,
-                    "fig2b_drop_slot",
-                    mpdf_eval::report::csv_series("packet", "ds_db", &r.subcarrier_a),
-                );
-                write_csv(
-                    csv,
-                    "fig2b_rise_slot",
-                    mpdf_eval::report::csv_series("packet", "ds_db", &r.subcarrier_b),
-                );
-                exp::fig2::report_fig2b(&r)
-            }
-            "fig3" => {
-                let r = exp::fig3::run(&opts.cfg, opts.locations).expect("fig3");
-                write_csv(
-                    csv,
-                    "fig3a_cdf",
-                    mpdf_eval::report::csv_series("mu", "cdf", &r.distribution.cdf),
-                );
-                let mut rows = vec![vec!["slot".into(), "a".into(), "b".into(), "r2".into()]];
-                for f in &r.fits {
-                    rows.push(vec![
-                        f.slot.to_string(),
-                        f.fit.slope.to_string(),
-                        f.fit.intercept.to_string(),
-                        f.fit.r_squared.to_string(),
-                    ]);
+    if let Some(unknown) = selected.iter().find(|n| !ALL_EXPERIMENTS.contains(n)) {
+        eprintln!("error: unknown experiment `{unknown}`; known: {ALL_EXPERIMENTS:?} or `all`");
+        std::process::exit(2);
+    }
+
+    // Fan the experiments out, then emit everything in request order so
+    // stdout and the CSV directory are independent of the thread count.
+    let results = mpdf_par::map_indexed(opts.cfg.threads, &selected, |_, name| {
+        run_experiment(name, &opts)
+    });
+    let mut failures = 0usize;
+    for (name, result) in selected.iter().zip(results) {
+        match result {
+            Ok(out) => {
+                if let Some(dir) = &opts.csv_dir {
+                    for (csv_name, contents) in &out.csvs {
+                        if let Err(msg) = write_csv(dir, csv_name, contents) {
+                            eprintln!("error: {msg}");
+                            failures += 1;
+                        }
+                    }
                 }
-                write_csv(csv, "fig3c_fits", mpdf_eval::report::csv(&rows));
-                exp::fig3::report(&r)
+                println!("{}", out.report);
+                eprintln!("[{name} done in {:.1}s]\n", out.seconds);
             }
-            "fig4" => exp::fig4::report(&exp::fig4::run(&opts.cfg, 2000).expect("fig4")),
-            "fig5b" => {
-                let r = exp::fig5::run_fig5b(&opts.cfg).expect("fig5b");
-                write_csv(
-                    csv,
-                    "fig5b_spectrum",
-                    mpdf_eval::report::csv_series("angle_deg", "ps", &r.spectrum),
-                );
-                exp::fig5::report_fig5b(&r)
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                failures += 1;
             }
-            "fig5c" => {
-                let r = exp::fig5::run_fig5c(&opts.cfg).expect("fig5c");
-                write_csv(
-                    csv,
-                    "fig5c_rss_by_angle",
-                    mpdf_eval::report::csv_series(
-                        "angle_deg",
-                        "mean_abs_ds_db",
-                        &r.rss_change_by_angle,
-                    ),
-                );
-                exp::fig5::report_fig5c(&r)
-            }
-            "fig7" => {
-                let r = exp::fig7::run(&opts.cfg).expect("fig7");
-                for s in &r.schemes {
-                    let tag = s.name.replace(['+', ' '], "_");
-                    write_csv(
-                        csv,
-                        &format!("fig7_roc_{tag}"),
-                        mpdf_eval::report::csv_series("fp", "tp", &s.roc_points),
-                    );
-                }
-                exp::fig7::report(&r)
-            }
-            "fig8" => {
-                let r = exp::fig8::run(&opts.cfg).expect("fig8");
-                let mut rows = vec![vec![
-                    "case".into(),
-                    "baseline".into(),
-                    "subcarrier".into(),
-                    "combined".into(),
-                ]];
-                for (id, b, s2, c) in &r.rows {
-                    rows.push(vec![
-                        id.to_string(),
-                        b.to_string(),
-                        s2.to_string(),
-                        c.to_string(),
-                    ]);
-                }
-                write_csv(csv, "fig8_cases", mpdf_eval::report::csv(&rows));
-                exp::fig8::report(&r)
-            }
-            "fig9" => {
-                let r = exp::fig9::run(&opts.cfg).expect("fig9");
-                let mut rows = vec![vec![
-                    "distance_m".into(),
-                    "baseline".into(),
-                    "subcarrier".into(),
-                    "combined".into(),
-                ]];
-                for (d, b, s2, c) in &r.rows {
-                    rows.push(vec![
-                        d.to_string(),
-                        b.to_string(),
-                        s2.to_string(),
-                        c.to_string(),
-                    ]);
-                }
-                write_csv(csv, "fig9_distance", mpdf_eval::report::csv(&rows));
-                exp::fig9::report(&r)
-            }
-            "fig10" => {
-                let r = exp::fig10::run(&opts.cfg).expect("fig10");
-                write_csv(
-                    csv,
-                    "fig10_single_packet",
-                    mpdf_eval::report::csv_series("error_deg", "cdf", &r.single_packet_cdf),
-                );
-                write_csv(
-                    csv,
-                    "fig10_averaged",
-                    mpdf_eval::report::csv_series("error_deg", "cdf", &r.averaged_cdf),
-                );
-                exp::fig10::report(&r)
-            }
-            "fig11" => {
-                let r = exp::fig11::run(&opts.cfg).expect("fig11");
-                let mut rows = vec![vec![
-                    "angle_deg".into(),
-                    "subcarrier".into(),
-                    "combined".into(),
-                ]];
-                for (a, s2, c) in &r.rows {
-                    rows.push(vec![a.to_string(), s2.to_string(), c.to_string()]);
-                }
-                write_csv(csv, "fig11_angles", mpdf_eval::report::csv(&rows));
-                exp::fig11::report(&r)
-            }
-            "fig12" => {
-                let r = exp::fig12::run(&opts.cfg).expect("fig12");
-                let mut rows = vec![vec![
-                    "packets".into(),
-                    "seconds".into(),
-                    "baseline".into(),
-                    "subcarrier".into(),
-                    "combined".into(),
-                ]];
-                for (w, t, b, s2, c) in &r.rows {
-                    rows.push(vec![
-                        w.to_string(),
-                        t.to_string(),
-                        b.to_string(),
-                        s2.to_string(),
-                        c.to_string(),
-                    ]);
-                }
-                write_csv(csv, "fig12_windows", mpdf_eval::report::csv(&rows));
-                exp::fig12::report(&r)
-            }
-            "ext-hmm" => exp::ext_hmm::report(&exp::ext_hmm::run(&opts.cfg).expect("ext-hmm")),
-            "ext-array" => {
-                exp::ext_array::report(&exp::ext_array::run(&opts.cfg).expect("ext-array"))
-            }
-            "ext-sweep" => {
-                exp::ext_sweep::report(&exp::ext_sweep::run(&opts.cfg).expect("ext-sweep"))
-            }
-            "ext-ablate" => {
-                exp::ext_ablate::report(&exp::ext_ablate::run(&opts.cfg).expect("ext-ablate"))
-            }
-            other => {
-                eprintln!("unknown experiment `{other}`; known: {all:?} or `all`");
-                std::process::exit(2);
-            }
-        };
-        println!("{report}");
-        eprintln!("[{name} done in {:.1}s]\n", started.elapsed().as_secs_f64());
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
     }
 }

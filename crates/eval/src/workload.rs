@@ -86,6 +86,11 @@ pub struct CampaignConfig {
     pub session_gain_drift_db: f64,
     /// Base RNG seed.
     pub seed: u64,
+    /// Worker threads for the campaign (`0` = all available cores).
+    /// The output is bit-for-bit identical for every value: each window
+    /// captures on its own [`CsiReceiver::fork`] whose stream is derived
+    /// from `(seed, case id, window index)`, never from scheduling order.
+    pub threads: usize,
 }
 
 impl Default for CampaignConfig {
@@ -104,6 +109,7 @@ impl Default for CampaignConfig {
             clutter_drift_rel: 0.025,
             session_gain_drift_db: 0.3,
             seed: 0xC51,
+            threads: 0,
         }
     }
 }
@@ -176,17 +182,34 @@ fn unit(seed: u64, a: u64, b: u64) -> f64 {
     (mix(seed, a, b) >> 11) as f64 / (1u64 << 53) as f64
 }
 
+/// Stream id of the calibration capture within a case (window streams
+/// use `(widx << 2) | salt` with salt 1 or 2, so bit 0 set with bit 1
+/// clear can never collide with a window).
+const CALIBRATION_STREAM: u64 = 1;
+
+/// RNG stream for one monitoring window: a pure function of the campaign
+/// seed, the case and the window index, so a window's capture does not
+/// depend on which thread runs it or in what order.
+fn window_stream(cfg: &CampaignConfig, case: &LinkCase, window_idx: u64, label_salt: u64) -> u64 {
+    mix(cfg.seed, case.id as u64, (window_idx << 2) | label_salt)
+}
+
 /// Captures one monitoring window with an optional monitored person and
 /// campaign-level background dynamics.
-#[allow(clippy::too_many_arguments)]
+///
+/// The window runs on a dedicated [`CsiReceiver::fork`] of the case's
+/// template receiver, seeded by [`window_stream`]: the result is a pure
+/// function of `(template, cfg, monitored, window_idx, label_salt)`, so
+/// serial and parallel campaigns produce bit-identical packets.
 fn capture_window(
-    receiver: &mut CsiReceiver,
+    template: &CsiReceiver,
     case: &LinkCase,
     cfg: &CampaignConfig,
     monitored: Option<Point>,
     window_idx: u64,
     label_salt: u64,
 ) -> Result<Vec<CsiPacket>, TraceError> {
+    let mut receiver = template.fork(window_stream(cfg, case, window_idx, label_salt));
     // Each monitoring window belongs to a different "session" than the
     // calibration capture: the clutter has drifted.
     receiver.resample_drift();
@@ -213,8 +236,23 @@ fn capture_window(
     receiver.capture_actors(&actors, cfg.detector.window)
 }
 
+/// One window capture in the campaign's flat work list.
+#[derive(Debug, Clone, Copy)]
+struct WindowJob {
+    case_idx: usize,
+    monitored: Option<Point>,
+    widx: u64,
+    salt: u64,
+}
+
 /// Runs the full campaign over the given cases: calibration plus labeled
 /// positive/negative windows per case.
+///
+/// Work fans out over `cfg.threads` workers (see [`CampaignConfig`]),
+/// first across cases (template receiver + calibration profile), then
+/// across the flat case × window list so uneven case sizes still balance.
+/// Because every window runs on its own seed-derived receiver fork, the
+/// result is bit-for-bit identical for any thread count.
 ///
 /// # Errors
 /// Propagates capture and calibration errors.
@@ -222,39 +260,66 @@ pub fn run_campaign(
     cases: &[LinkCase],
     cfg: &CampaignConfig,
 ) -> Result<Vec<CaseData>, mpdf_core::error::DetectError> {
-    let mut out = Vec::with_capacity(cases.len());
-    for case in cases {
-        let mut receiver = case_receiver(case, cfg, cfg.seed ^ (case.id as u64) << 8)?;
-        let calibration = receiver.capture_static(None, cfg.calibration_packets)?;
-        let profile = CalibrationProfile::build(&calibration, &cfg.detector)?;
+    // Stage 1: per-case template receiver and calibration profile.
+    let calibrated: Vec<(CsiReceiver, CalibrationProfile)> =
+        mpdf_par::try_map_indexed(cfg.threads, cases, |_, case| {
+            let template = case_receiver(case, cfg, cfg.seed ^ (case.id as u64) << 8)?;
+            let calibration = template
+                .fork(mix(cfg.seed, case.id as u64, CALIBRATION_STREAM))
+                .capture_static(None, cfg.calibration_packets)?;
+            let profile = CalibrationProfile::build(&calibration, &cfg.detector)?;
+            Ok::<_, mpdf_core::error::DetectError>((template, profile))
+        })?;
 
-        let mut windows = Vec::new();
+    // Stage 2: one flat job list across all cases and windows, grouped by
+    // case in declaration order (positives by grid position, then
+    // negatives) so reassembly below is a straight split.
+    let mut jobs: Vec<WindowJob> = Vec::new();
+    for (case_idx, case) in cases.iter().enumerate() {
         let mut widx = 0u64;
-        // Positives: episodes at each grid position.
         for &pos in &case.grid {
             for _ in 0..cfg.episodes_per_position {
-                let packets = capture_window(&mut receiver, case, cfg, Some(pos), widx, 1)?;
-                windows.push(WindowRecord {
-                    packets,
-                    human: Some(annotate(case, pos)),
+                jobs.push(WindowJob {
+                    case_idx,
+                    monitored: Some(pos),
+                    widx,
+                    salt: 1,
                 });
                 widx += 1;
             }
         }
-        // Negatives.
         for _ in 0..cfg.negative_windows {
-            let packets = capture_window(&mut receiver, case, cfg, None, widx, 2)?;
-            windows.push(WindowRecord {
-                packets,
-                human: None,
+            jobs.push(WindowJob {
+                case_idx,
+                monitored: None,
+                widx,
+                salt: 2,
             });
             widx += 1;
         }
-        out.push(CaseData {
+    }
+    let captured: Vec<WindowRecord> = mpdf_par::try_map_indexed(cfg.threads, &jobs, |_, job| {
+        let case = &cases[job.case_idx];
+        let template = &calibrated[job.case_idx].0;
+        let packets = capture_window(template, case, cfg, job.monitored, job.widx, job.salt)?;
+        Ok::<_, mpdf_core::error::DetectError>(WindowRecord {
+            packets,
+            human: job.monitored.map(|pos| annotate(case, pos)),
+        })
+    })?;
+
+    // Reassemble per case; jobs and results share indices.
+    let mut out: Vec<CaseData> = calibrated
+        .into_iter()
+        .zip(cases)
+        .map(|((_, profile), case)| CaseData {
             case_id: case.id,
             profile,
-            windows,
-        });
+            windows: Vec::new(),
+        })
+        .collect();
+    for (job, record) in jobs.iter().zip(captured) {
+        out[job.case_idx].windows.push(record);
     }
     Ok(out)
 }
@@ -319,6 +384,9 @@ mod tests {
                 window: 10,
                 ..DetectorConfig::default()
             },
+            // Tests run serial by default; the parallel-equivalence test
+            // below compares against explicit multi-threaded runs.
+            threads: 1,
             ..CampaignConfig::default()
         }
     }
@@ -358,6 +426,34 @@ mod tests {
         let s1 = score_campaign(&d1, &Baseline, &cfg.detector).unwrap();
         let s2 = score_campaign(&d2, &Baseline, &cfg.detector).unwrap();
         assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn campaign_is_identical_across_thread_counts() {
+        let cases = &five_cases()[..2];
+        let serial_cfg = tiny_config();
+        let serial = run_campaign(cases, &serial_cfg).unwrap();
+        for threads in [2, 4] {
+            let cfg = CampaignConfig {
+                threads,
+                ..tiny_config()
+            };
+            let parallel = run_campaign(cases, &cfg).unwrap();
+            assert_eq!(parallel.len(), serial.len(), "threads={threads}");
+            for (p, s) in parallel.iter().zip(&serial) {
+                assert_eq!(p.case_id, s.case_id, "threads={threads}");
+                assert_eq!(p.windows.len(), s.windows.len(), "threads={threads}");
+                for (pw, sw) in p.windows.iter().zip(&s.windows) {
+                    // Bit-for-bit: packets, labels, the lot.
+                    assert_eq!(pw.packets, sw.packets, "threads={threads}");
+                    assert_eq!(pw.human, sw.human, "threads={threads}");
+                }
+            }
+            // Profiles feed thresholds downstream; scores must agree too.
+            let ss = score_campaign(&serial, &Baseline, &serial_cfg.detector).unwrap();
+            let ps = score_campaign(&parallel, &Baseline, &cfg.detector).unwrap();
+            assert_eq!(ss, ps, "threads={threads}");
+        }
     }
 
     #[test]

@@ -50,10 +50,10 @@ pub fn sample_covariance(snapshots: &[Vec<Complex64>]) -> Result<CMatrix, Covari
     }
     let mut r = CMatrix::zeros(m, m);
     for x in snapshots {
-        let outer = CMatrix::outer(x, x);
-        r = &r + &outer;
+        // In-place rank-1 accumulation: no temporary matrix per snapshot.
+        r.axpy_outer(x, x);
     }
-    let r = r.scale(1.0 / snapshots.len() as f64);
+    r.scale_in_place(1.0 / snapshots.len() as f64);
     contract::assert_hermitian("sample covariance", &r, 1e-9 * (1.0 + r.trace().norm()));
     Ok(r)
 }
@@ -221,6 +221,36 @@ mod tests {
 
         proptest! {
             #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// The in-place `axpy_outer` accumulator must reproduce the
+            /// naive outer-product-and-add formulation it replaced.
+            #[test]
+            fn accumulator_matches_outer_product_formulation(
+                parts in proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 24),
+            ) {
+                let snaps: Vec<Vec<Complex64>> = parts
+                    .chunks(3)
+                    .map(|chunk| {
+                        chunk
+                            .iter()
+                            .map(|&(re, im)| Complex64::new(re, im))
+                            .collect()
+                    })
+                    .collect();
+                let fast = sample_covariance(&snaps).unwrap();
+                // The pre-optimization formulation, verbatim.
+                let mut slow = CMatrix::zeros(3, 3);
+                for x in &snaps {
+                    let outer = CMatrix::outer(x, x);
+                    slow = &slow + &outer;
+                }
+                let slow = slow.scale(1.0 / snaps.len() as f64);
+                prop_assert!(
+                    (&fast - &slow).frobenius_norm() <= 1e-12,
+                    "accumulator drifted from outer-product formulation by {}",
+                    (&fast - &slow).frobenius_norm()
+                );
+            }
 
             /// The Hermitian contracts wired into the estimators hold
             /// for arbitrary bounded snapshot sets.

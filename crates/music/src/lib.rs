@@ -37,4 +37,6 @@ pub mod covariance;
 pub mod music;
 
 pub use covariance::{forward_backward, sample_covariance, spatially_smoothed_covariance};
-pub use music::{estimate_aoa, pseudospectrum, AngleGrid, MusicError, Pseudospectrum, UlaSteering};
+pub use music::{
+    estimate_aoa, pseudospectrum, AngleGrid, MusicError, Pseudospectrum, SteeringTable, UlaSteering,
+};

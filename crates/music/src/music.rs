@@ -11,6 +11,7 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use serde::{Deserialize, Serialize};
 
@@ -154,6 +155,116 @@ impl Default for AngleGrid {
     }
 }
 
+/// Precomputed steering vectors for one `(UlaSteering, AngleGrid)` pair.
+///
+/// Every angle scan — MUSIC pseudospectrum or Bartlett spectrum — walks
+/// the same grid with the same array model, evaluating `elements` complex
+/// exponentials per grid point. This table hoists those `cis` calls out
+/// of the per-decision hot path: build (or fetch from the process-wide
+/// cache) once, then each scan is a pure quadratic form per angle with
+/// zero allocation and zero trig.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SteeringTable {
+    steering: UlaSteering,
+    grid: AngleGrid,
+    angles_deg: Vec<f64>,
+    /// Flattened row-major `angles × elements` steering vectors.
+    vectors: Vec<Complex64>,
+}
+
+/// Process-wide steering-table cache. Campaigns use a handful of
+/// `(steering, grid)` pairs, so a bounded linear-scan vector suffices;
+/// both key types are small `Copy` values compared by exact equality.
+static STEERING_CACHE: OnceLock<Mutex<Vec<Arc<SteeringTable>>>> = OnceLock::new();
+
+/// Cap on distinct cached tables; beyond this the oldest entry is
+/// evicted (protects long sweeps over many ad-hoc grids from unbounded
+/// growth).
+const STEERING_CACHE_CAP: usize = 16;
+
+impl SteeringTable {
+    /// Builds the table for a steering model over a grid.
+    ///
+    /// # Panics
+    /// Propagates [`AngleGrid::angles_deg`]'s panics on degenerate grids.
+    pub fn new(steering: &UlaSteering, grid: &AngleGrid) -> Self {
+        let angles_deg = grid.angles_deg();
+        let m = steering.elements();
+        let mut vectors = Vec::with_capacity(angles_deg.len() * m);
+        for &deg in &angles_deg {
+            vectors.extend_from_slice(&steering.vector(deg.to_radians()));
+        }
+        SteeringTable {
+            steering: *steering,
+            grid: *grid,
+            angles_deg,
+            vectors,
+        }
+    }
+
+    /// Fetches the shared table for `(steering, grid)`, building and
+    /// caching it on first use. Keys are compared by exact equality, so
+    /// a cached table is always bit-identical to a freshly built one.
+    ///
+    /// # Panics
+    /// Propagates [`SteeringTable::new`]'s panics on degenerate grids.
+    pub fn cached(steering: &UlaSteering, grid: &AngleGrid) -> Arc<SteeringTable> {
+        let cache = STEERING_CACHE.get_or_init(|| Mutex::new(Vec::new()));
+        // Cached tables are immutable once inserted, so a poisoned lock
+        // cannot hold corrupt data — recover instead of panicking.
+        let mut tables = cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(t) = tables
+            .iter()
+            .find(|t| t.steering == *steering && t.grid == *grid)
+        {
+            return Arc::clone(t);
+        }
+        let t = Arc::new(SteeringTable::new(steering, grid));
+        if tables.len() >= STEERING_CACHE_CAP {
+            tables.remove(0);
+        }
+        tables.push(Arc::clone(&t));
+        t
+    }
+
+    /// The steering model the table was built from.
+    pub fn steering(&self) -> &UlaSteering {
+        &self.steering
+    }
+
+    /// The angle grid the table was built on.
+    pub fn grid(&self) -> &AngleGrid {
+        &self.grid
+    }
+
+    /// Scan angles in degrees.
+    pub fn angles_deg(&self) -> &[f64] {
+        &self.angles_deg
+    }
+
+    /// Number of grid points.
+    pub fn len(&self) -> usize {
+        self.angles_deg.len()
+    }
+
+    /// True when the grid has no points (unreachable for grids built by
+    /// [`AngleGrid::angles_deg`], which always yields ≥ 1 point).
+    pub fn is_empty(&self) -> bool {
+        self.angles_deg.is_empty()
+    }
+
+    /// Steering vector at grid index `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of bounds.
+    pub fn vector(&self, idx: usize) -> &[Complex64] {
+        let m = self.steering.elements();
+        &self.vectors[idx * m..(idx + 1) * m]
+    }
+}
+
 /// A MUSIC pseudospectrum: paired angles (degrees) and values.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Pseudospectrum {
@@ -183,15 +294,30 @@ impl Pseudospectrum {
     }
 
     /// Value at the grid point closest to `angle_deg`.
+    ///
+    /// Scan grids are uniform ([`AngleGrid::angles_deg`] constructs them
+    /// with a fixed step), so the nearest index is O(1) arithmetic —
+    /// not an O(N) distance scan. Out-of-range angles clamp to the grid
+    /// ends, matching the nearest-point semantics of the scan it
+    /// replaced.
     pub fn value_at(&self, angle_deg: f64) -> f64 {
-        let idx = self
-            .angles_deg
-            .iter()
-            .enumerate()
-            .min_by(|a, b| (a.1 - angle_deg).abs().total_cmp(&(b.1 - angle_deg).abs()))
-            .map(|(i, _)| i)
-            .unwrap_or(0);
-        self.values[idx]
+        let n = self.angles_deg.len();
+        // The constructor rejects empty input, so n >= 1.
+        if n == 1 {
+            return self.values[0];
+        }
+        let start = self.angles_deg[0];
+        let step = (self.angles_deg[n - 1] - start) / (n - 1) as f64;
+        if !(step.is_finite() && step > 0.0 && angle_deg.is_finite()) {
+            // Degenerate (all-equal or non-monotone) grid, or NaN query:
+            // the first point is the only defensible answer.
+            return self.values[0];
+        }
+        let idx = ((angle_deg - start) / step)
+            .round()
+            .clamp(0.0, (n - 1) as f64);
+        // lint: allow(lossy-cast) — clamped to [0, n-1] on the line above
+        self.values[idx as usize]
     }
 
     /// Normalizes the peak value to 1 (for plotting/weighting).
@@ -261,21 +387,21 @@ pub fn pseudospectrum(
     );
     let eig = hermitian_eig(covariance, 1e-10)?;
     let en = eig.noise_subspace(num_sources);
-    // Projector onto the noise subspace: E_N E_Nᴴ.
+    // Noise projector `E_N E_Nᴴ`, computed once per call: every grid
+    // point then costs one allocation-free quadratic form against the
+    // cached steering table.
     let projector = &en * &en.hermitian();
-    let angles = grid.angles_deg();
-    let values: Vec<f64> = angles
-        .iter()
-        .map(|&deg| {
-            let a = steering.vector(deg.to_radians());
-            let denom = projector.quadratic_form(&a).re.max(1e-12);
+    let table = SteeringTable::cached(steering, grid);
+    let values: Vec<f64> = (0..table.len())
+        .map(|i| {
+            let denom = projector.quadratic_form(table.vector(i)).re.max(1e-12);
             1.0 / denom
         })
         .collect();
     // The denominator is clamped away from zero, so the pseudospectrum
     // must come out strictly positive and finite.
     contract::assert_positive("MUSIC pseudospectrum", &values);
-    Ok(Pseudospectrum::new(angles, values))
+    Ok(Pseudospectrum::new(table.angles_deg().to_vec(), values))
 }
 
 /// The Bartlett (conventional beamformer) angular power spectrum:
@@ -299,16 +425,12 @@ pub fn bartlett_spectrum(
     if !covariance.is_square() || covariance.rows() != steering.elements() {
         return Err(MusicError::Covariance(CovarianceError::RaggedSnapshots));
     }
-    let angles = grid.angles_deg();
-    let values: Vec<f64> = angles
-        .iter()
-        .map(|&deg| {
-            let a = steering.vector(deg.to_radians());
-            covariance.quadratic_form(&a).re.max(0.0)
-        })
+    let table = SteeringTable::cached(steering, grid);
+    let values: Vec<f64> = (0..table.len())
+        .map(|i| covariance.quadratic_form(table.vector(i)).re.max(0.0))
         .collect();
     contract::assert_non_negative("Bartlett spectrum", &values);
-    Ok(Pseudospectrum::new(angles, values))
+    Ok(Pseudospectrum::new(table.angles_deg().to_vec(), values))
 }
 
 /// One-call AoA estimation: covariance (with forward–backward averaging)
@@ -445,6 +567,55 @@ mod tests {
         assert_eq!(peaks[0].0, 0.0);
         let all = spec.peaks(5, 0.0);
         assert_eq!(all.len(), 2); // 0.0 and 20.0
+    }
+
+    #[test]
+    fn value_at_is_nearest_grid_point() {
+        let spec = Pseudospectrum::new(
+            vec![-90.0, -45.0, 0.0, 45.0, 90.0],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],
+        );
+        // Exact hits.
+        assert_eq!(spec.value_at(-90.0), 1.0);
+        assert_eq!(spec.value_at(45.0), 4.0);
+        // Nearest rounding.
+        assert_eq!(spec.value_at(-10.0), 3.0);
+        assert_eq!(spec.value_at(30.0), 4.0);
+        // Out-of-range queries clamp to the grid ends.
+        assert_eq!(spec.value_at(-500.0), 1.0);
+        assert_eq!(spec.value_at(500.0), 5.0);
+        // Non-finite queries fall back to the first point, not a panic.
+        assert_eq!(spec.value_at(f64::NAN), 1.0);
+        // Single-point and degenerate grids.
+        let single = Pseudospectrum::new(vec![10.0], vec![7.0]);
+        assert_eq!(single.value_at(-3.0), 7.0);
+        let flat = Pseudospectrum::new(vec![5.0, 5.0], vec![1.0, 2.0]);
+        assert_eq!(flat.value_at(5.0), 1.0);
+    }
+
+    #[test]
+    fn steering_table_matches_direct_vectors() {
+        let steering = UlaSteering::three_half_wavelength();
+        let grid = AngleGrid::full_front(2.5);
+        let table = SteeringTable::new(&steering, &grid);
+        assert_eq!(table.len(), grid.angles_deg().len());
+        assert!(!table.is_empty());
+        for (i, &deg) in table.angles_deg().iter().enumerate() {
+            assert_eq!(table.vector(i), steering.vector(deg.to_radians()));
+        }
+    }
+
+    #[test]
+    fn steering_cache_returns_identical_tables() {
+        let steering = UlaSteering::three_half_wavelength();
+        let grid = AngleGrid::full_front(0.25);
+        let a = SteeringTable::cached(&steering, &grid);
+        let b = SteeringTable::cached(&steering, &grid);
+        assert!(std::sync::Arc::ptr_eq(&a, &b), "second lookup must hit");
+        assert_eq!(*a, SteeringTable::new(&steering, &grid));
+        // A different key gets a different table.
+        let other = SteeringTable::cached(&UlaSteering::new(4, 0.5), &grid);
+        assert_eq!(other.vector(0).len(), 4);
     }
 
     #[test]

@@ -1,0 +1,218 @@
+//! # mpdf-par — deterministic parallel execution layer
+//!
+//! A std-only work pool for the evaluation harness: scoped worker
+//! threads pulling indices from a bounded queue, with results collected
+//! **in input order** so a parallel run is indistinguishable from a
+//! serial one. No external dependencies (the build container is
+//! offline), no unsafe code, no work stealing — just enough machinery to
+//! saturate the cores on embarrassingly parallel campaign work.
+//!
+//! ## Determinism contract
+//!
+//! [`map_indexed`] guarantees `out[i] == f(i, &items[i])` with results
+//! ordered by `i`, independent of thread count or scheduling. Callers
+//! keep that guarantee end-to-end by making `f` a pure function of its
+//! inputs (the campaign derives a dedicated RNG stream per work item
+//! instead of threading one generator through the loop).
+//!
+//! ```
+//! let squares = mpdf_par::map_indexed(4, &[1u64, 2, 3, 4], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod queue;
+
+use std::num::NonZeroUsize;
+use std::sync::Mutex;
+
+/// Number of worker threads the machine supports; falls back to 1 when
+/// the parallelism degree cannot be queried.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Resolves a user-facing thread knob: `0` means "use all available
+/// cores", anything else is taken literally.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        available_threads()
+    } else {
+        requested
+    }
+}
+
+/// Maps `f` over `items` on `threads` scoped worker threads, returning
+/// results in input order.
+///
+/// `threads` is resolved via [`resolve_threads`] (`0` = all cores); with
+/// one thread (or ≤ 1 item) the map degenerates to a plain serial loop
+/// with no thread or lock overhead. Work indices flow through a bounded
+/// [`queue::Bounded`] (capacity 2× the worker count), so uneven item
+/// costs balance automatically and the producer is back-pressured rather
+/// than buffering the whole work list.
+///
+/// # Panics
+/// If `f` panics on a worker thread the panic is propagated to the
+/// caller when the thread scope joins.
+pub fn map_indexed<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = resolve_threads(threads).min(n);
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    /// Closes the work queue when a worker unwinds, so the producer's
+    /// blocking `push` wakes up and the panic can propagate through the
+    /// scope join instead of deadlocking.
+    struct CloseOnPanic<'a, T>(&'a queue::Bounded<T>);
+    impl<T> Drop for CloseOnPanic<'_, T> {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                self.0.close();
+            }
+        }
+    }
+    let work = queue::Bounded::new(workers * 2);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let _guard = CloseOnPanic(&work);
+                while let Some(i) = work.pop() {
+                    let result = f(i, &items[i]);
+                    // Each slot is written exactly once by the worker
+                    // that popped index `i`; poisoning is impossible
+                    // because the lock is only held for the store below.
+                    let mut slot = slots[i]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    *slot = Some(result);
+                }
+            });
+        }
+        for i in 0..n {
+            if work.push(i).is_err() {
+                // A worker panicked and closed the queue; stop feeding
+                // and let the scope join surface the panic.
+                break;
+            }
+        }
+        work.close();
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+        })
+        .map(|r| {
+            // lint: allow(no-panic) — the scope above joins every worker, so each claimed slot was filled; an empty slot means a worker panicked, and that panic has already propagated
+            r.expect("worker completed without storing a result")
+        })
+        .collect()
+}
+
+/// Maps a fallible `f` over `items` in parallel, short-circuiting on the
+/// first error **in input order** (matching what a serial `?` loop would
+/// have reported; later items may still have been evaluated).
+///
+/// # Errors
+/// Returns the error of the lowest-indexed failing item.
+pub fn try_map_indexed<T, R, E, F>(threads: usize, items: &[T], f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    let mut out = Vec::with_capacity(items.len());
+    for r in map_indexed(threads, items, f) {
+        out.push(r?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_preserves_order_across_thread_counts() {
+        let items: Vec<usize> = (0..257).collect();
+        let serial = map_indexed(1, &items, |i, &x| i * 31 + x);
+        for threads in [2, 3, 4, 8] {
+            let parallel = map_indexed(threads, &items, |i, &x| i * 31 + x);
+            assert_eq!(parallel, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(map_indexed(4, &empty, |_, &x| x).is_empty());
+        assert_eq!(map_indexed(4, &[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn every_item_is_visited_exactly_once() {
+        let counters: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        let items: Vec<usize> = (0..100).collect();
+        map_indexed(4, &items, |_, &i| {
+            counters[i].fetch_add(1, Ordering::SeqCst);
+        });
+        for (i, c) in counters.iter().enumerate() {
+            assert_eq!(c.load(Ordering::SeqCst), 1, "item {i}");
+        }
+    }
+
+    #[test]
+    fn uneven_work_is_balanced() {
+        // Items with wildly different costs still all complete.
+        let items: Vec<u64> = (0..40).collect();
+        let out = map_indexed(4, &items, |_, &x| {
+            if x % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            x * 2
+        });
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_map_reports_lowest_index_error() {
+        let items: Vec<u32> = (0..64).collect();
+        let r = try_map_indexed(4, &items, |_, &x| if x >= 10 { Err(x) } else { Ok(x) });
+        assert_eq!(r, Err(10));
+        let ok = try_map_indexed(4, &items, |_, &x| Ok::<_, ()>(x));
+        assert_eq!(ok.unwrap().len(), 64);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let items: Vec<u32> = (0..16).collect();
+        let caught = std::panic::catch_unwind(|| {
+            map_indexed(4, &items, |_, &x| {
+                assert!(x != 5, "boom");
+                x
+            })
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn resolve_threads_zero_is_auto() {
+        assert_eq!(resolve_threads(3), 3);
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(0), available_threads());
+    }
+}

@@ -1,0 +1,196 @@
+//! A bounded multi-producer multi-consumer work queue.
+//!
+//! The pool's distribution primitive: producers block when the queue is
+//! full (backpressure instead of unbounded buffering), consumers block
+//! when it is empty, and [`Bounded::close`] drains the queue gracefully —
+//! consumers keep popping until the buffer is empty, then observe `None`
+//! and exit. Built on `Mutex` + `Condvar` only; lock poisoning is
+//! recovered (the protected state is a plain buffer that cannot be left
+//! half-mutated by any of the panic-free critical sections below).
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+#[derive(Debug)]
+struct State<T> {
+    buf: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPMC queue of work items.
+#[derive(Debug)]
+pub struct Bounded<T> {
+    state: Mutex<State<T>>,
+    capacity: usize,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> Bounded<T> {
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be non-zero");
+        Bounded {
+            state: Mutex::new(State {
+                buf: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            capacity,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Pushes an item, blocking while the queue is full. Returns the item
+    /// back to the caller if the queue was closed in the meantime.
+    ///
+    /// # Errors
+    /// Returns `Err(item)` when the queue is closed.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut state = self.lock();
+        while state.buf.len() >= self.capacity && !state.closed {
+            state = self
+                .not_full
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        if state.closed {
+            return Err(item);
+        }
+        state.buf.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Pops an item, blocking while the queue is empty and open. Returns
+    /// `None` once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.lock();
+        loop {
+            if let Some(item) = state.buf.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Closes the queue: pending items remain poppable, further pushes
+    /// fail, and blocked consumers wake up.
+    pub fn close(&self) {
+        let mut state = self.lock();
+        state.closed = true;
+        drop(state);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Number of items currently buffered.
+    pub fn len(&self) -> usize {
+        self.lock().buf.len()
+    }
+
+    /// True when no items are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.lock().buf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let q = Bounded::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.push(3).unwrap();
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn close_drains_then_returns_none() {
+        let q = Bounded::new(2);
+        q.push(10).unwrap();
+        q.close();
+        assert_eq!(q.push(11), Err(11));
+        assert_eq!(q.pop(), Some(10));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn bounded_capacity_applies_backpressure() {
+        let q = Bounded::new(2);
+        let produced = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                for i in 0..100 {
+                    q.push(i).unwrap();
+                    produced.fetch_add(1, Ordering::SeqCst);
+                }
+                q.close();
+            });
+            scope.spawn(|| {
+                let mut expect = 0;
+                while let Some(i) = q.pop() {
+                    assert_eq!(i, expect);
+                    expect += 1;
+                    // The producer can never be more than capacity ahead
+                    // of what has been consumed.
+                    assert!(produced.load(Ordering::SeqCst) <= expect + 2 + 1);
+                }
+                assert_eq!(expect, 100);
+            });
+        });
+    }
+
+    #[test]
+    fn many_consumers_cover_all_items() {
+        let q: Bounded<usize> = Bounded::new(8);
+        let seen: Vec<AtomicUsize> = (0..500).map(|_| AtomicUsize::new(0)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    while let Some(i) = q.pop() {
+                        seen[i].fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+            for i in 0..500usize {
+                q.push(i).unwrap();
+            }
+            q.close();
+        });
+        for (i, s) in seen.iter().enumerate() {
+            assert_eq!(s.load(Ordering::SeqCst), 1, "item {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _ = Bounded::<u32>::new(0);
+    }
+}

@@ -15,8 +15,46 @@
 use std::error::Error;
 use std::f64::consts::PI;
 use std::fmt;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::complex::Complex64;
+
+/// One cached twiddle table: `(transform length, shared table)`.
+type TwiddleEntry = (usize, Arc<[Complex64]>);
+
+/// Process-wide cache of forward twiddle tables, keyed by transform
+/// length. CSI work hits a handful of lengths (30 subcarriers, the
+/// benchmark's power-of-two signals), so a small linear-scan vector
+/// behind a mutex beats hashing.
+static TWIDDLE_CACHE: OnceLock<Mutex<Vec<TwiddleEntry>>> = OnceLock::new();
+
+/// Largest transform length worth caching (the table is O(N)).
+const TWIDDLE_CACHE_MAX_LEN: usize = 1 << 14;
+
+/// Forward twiddle table `w[j] = e^{-2πi j/N}` for length `n`, shared and
+/// cached process-wide. The inverse transform conjugates on lookup.
+fn forward_twiddles(n: usize) -> Arc<[Complex64]> {
+    let build = || -> Arc<[Complex64]> {
+        (0..n)
+            .map(|j| Complex64::cis(-2.0 * PI * j as f64 / n as f64))
+            .collect()
+    };
+    if n > TWIDDLE_CACHE_MAX_LEN {
+        return build();
+    }
+    let cache = TWIDDLE_CACHE.get_or_init(|| Mutex::new(Vec::new()));
+    // Poisoning cannot corrupt the table (entries are write-once), so
+    // recover the inner value instead of panicking.
+    let mut tables = cache
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some((_, t)) = tables.iter().find(|(len, _)| *len == n) {
+        return Arc::clone(t);
+    }
+    let t = build();
+    tables.push((n, Arc::clone(&t)));
+    t
+}
 
 /// Error returned by the fixed-radix FFT routines.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,14 +79,19 @@ impl Error for FftError {}
 /// Direct forward DFT: `X[k] = Σ_n x[n]·e^{-2πi kn/N}`.
 ///
 /// Accepts any non-zero length. Returns an empty vector for empty input.
+/// Twiddle factors come from a cached per-length table — no `sin`/`cos`
+/// in the O(N²) loop.
 pub fn dft(x: &[Complex64]) -> Vec<Complex64> {
     let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let w = forward_twiddles(n);
     let mut out = Vec::with_capacity(n);
     for k in 0..n {
         let mut acc = Complex64::ZERO;
         for (i, &xi) in x.iter().enumerate() {
-            let angle = -2.0 * PI * (k * i) as f64 / n as f64;
-            acc += xi * Complex64::cis(angle);
+            acc += xi * w[(k * i) % n];
         }
         out.push(acc);
     }
@@ -56,17 +99,19 @@ pub fn dft(x: &[Complex64]) -> Vec<Complex64> {
 }
 
 /// Direct inverse DFT with `1/N` normalization: `x[n] = (1/N) Σ_k X[k]·e^{2πi kn/N}`.
+///
+/// Shares the forward twiddle table, conjugated on lookup.
 pub fn idft(x: &[Complex64]) -> Vec<Complex64> {
     let n = x.len();
     if n == 0 {
         return Vec::new();
     }
+    let w = forward_twiddles(n);
     let mut out = Vec::with_capacity(n);
     for k in 0..n {
         let mut acc = Complex64::ZERO;
         for (i, &xi) in x.iter().enumerate() {
-            let angle = 2.0 * PI * (k * i) as f64 / n as f64;
-            acc += xi * Complex64::cis(angle);
+            acc += xi * w[(k * i) % n].conj();
         }
         out.push(acc / n as f64);
     }
@@ -160,6 +205,12 @@ pub fn nudft_at_delay(h_f: &[Complex64], freqs_hz: &[f64], tau: f64) -> Complex6
     );
     assert!(!h_f.is_empty(), "CFR must be non-empty");
     let k = h_f.len() as f64;
+    // τ = 0 is the per-packet hot path (the Eq. 10 dominant-tap estimate):
+    // every phasor is exactly 1, so skip the `cis` evaluations entirely.
+    // `h · cis(0) = h` bit-for-bit, so this changes nothing numerically.
+    if tau == 0.0 {
+        return h_f.iter().copied().sum::<Complex64>() / k;
+    }
     h_f.iter()
         .zip(freqs_hz)
         .map(|(&h, &f)| h * Complex64::cis(2.0 * PI * f * tau))
@@ -169,15 +220,45 @@ pub fn nudft_at_delay(h_f: &[Complex64], freqs_hz: &[f64], tau: f64) -> Complex6
 
 /// Power-delay profile on a uniform delay grid from non-uniform CFR
 /// samples: `|ĥ(τ_m)|²` for `τ_m = m·Δτ`, `m = 0..bins`.
+///
+/// The delay grid is uniform, so each frequency's phasor advances by a
+/// constant step `e^{2πi f·Δτ}` per bin: one `cis` per frequency up
+/// front, then a multiply per (bin, frequency) — instead of a fresh
+/// trig evaluation for every pair.
+///
+/// # Panics
+/// Panics if `h_f` and `freqs_hz` have different lengths, or if `h_f` is
+/// empty while `bins > 0`.
 pub fn delay_power_profile(
     h_f: &[Complex64],
     freqs_hz: &[f64],
     delta_tau: f64,
     bins: usize,
 ) -> Vec<f64> {
-    (0..bins)
-        .map(|m| nudft_at_delay(h_f, freqs_hz, m as f64 * delta_tau).norm_sqr())
-        .collect()
+    assert_eq!(
+        h_f.len(),
+        freqs_hz.len(),
+        "CFR samples and frequency grid must have equal length"
+    );
+    if bins == 0 {
+        return Vec::new();
+    }
+    assert!(!h_f.is_empty(), "CFR must be non-empty");
+    let k = h_f.len() as f64;
+    let steps: Vec<Complex64> = freqs_hz
+        .iter()
+        .map(|&f| Complex64::cis(2.0 * PI * f * delta_tau))
+        .collect();
+    let mut rotated: Vec<Complex64> = h_f.to_vec();
+    let mut out = Vec::with_capacity(bins);
+    for _ in 0..bins {
+        let acc = rotated.iter().copied().sum::<Complex64>() / k;
+        out.push(acc.norm_sqr());
+        for (h, s) in rotated.iter_mut().zip(&steps) {
+            *h *= *s;
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -319,5 +400,43 @@ mod tests {
     #[should_panic(expected = "equal length")]
     fn nudft_length_mismatch_panics() {
         nudft_at_delay(&[Complex64::ONE], &[1.0, 2.0], 0.0);
+    }
+
+    #[test]
+    fn delay_profile_recurrence_matches_direct_nudft() {
+        let freqs: Vec<f64> = (0..30)
+            .map(|i| 2.462e9 + (i as f64 - 15.0) * 312.5e3)
+            .collect();
+        let h: Vec<Complex64> = freqs
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| Complex64::cis(-2.0 * PI * f * 35e-9) * (1.0 + 0.02 * i as f64))
+            .collect();
+        let profile = delay_power_profile(&h, &freqs, 5e-9, 24);
+        for (m, &p) in profile.iter().enumerate() {
+            let direct = nudft_at_delay(&h, &freqs, m as f64 * 5e-9).norm_sqr();
+            assert!(
+                (p - direct).abs() <= 1e-9 * direct.max(1.0),
+                "bin {m}: recurrence {p} vs direct {direct}"
+            );
+        }
+    }
+
+    #[test]
+    fn delay_profile_zero_bins_is_empty() {
+        assert!(delay_power_profile(&[Complex64::ONE], &[1.0], 1e-9, 0).is_empty());
+    }
+
+    #[test]
+    fn twiddle_cache_is_consistent_across_lengths() {
+        // Interleave lengths so cached tables for one length cannot leak
+        // into another.
+        for n in [3usize, 8, 30, 8, 3] {
+            let x: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new((i as f64 * 0.9).cos(), (i as f64 * 0.4).sin()))
+                .collect();
+            let y = idft(&dft(&x));
+            assert!(close_vec(&x, &y, 1e-10), "length {n} round trip");
+        }
     }
 }

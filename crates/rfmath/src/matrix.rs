@@ -210,12 +210,25 @@ impl CMatrix {
 
     /// Computes the quadratic form `vᴴ A v` (real for Hermitian `A`).
     ///
+    /// Runs allocation-free: the angle scan of the MUSIC pseudospectrum
+    /// evaluates this once per grid point, so no intermediate `A·v`
+    /// vector is materialized.
+    ///
     /// # Panics
     /// Panics if `v.len() != cols` or the matrix is not square.
     pub fn quadratic_form(&self, v: &[Complex64]) -> Complex64 {
         assert!(self.is_square(), "quadratic form requires square matrix");
-        let av = self.mul_vec(v);
-        v.iter().zip(&av).map(|(&x, &y)| x.conj() * y).sum()
+        assert_eq!(v.len(), self.cols, "vector length must equal column count");
+        let mut acc = Complex64::ZERO;
+        for (r, &vr) in v.iter().enumerate() {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let mut row_acc = Complex64::ZERO;
+            for (&a, &vc) in row.iter().zip(v) {
+                row_acc += a * vc;
+            }
+            acc += vr.conj() * row_acc;
+        }
+        acc
     }
 
     /// Extracts the square submatrix of size `k` starting at `(r0, c0)`.
@@ -233,6 +246,34 @@ impl CMatrix {
     /// Outer product `u · vᴴ` of two vectors.
     pub fn outer(u: &[Complex64], v: &[Complex64]) -> CMatrix {
         CMatrix::from_fn(u.len(), v.len(), |r, c| u[r] * v[c].conj())
+    }
+
+    /// In-place rank-1 update `A += u · vᴴ`.
+    ///
+    /// This is the covariance accumulator's hot path: one call per array
+    /// snapshot, with no temporary matrix allocated (unlike
+    /// [`CMatrix::outer`] + [`Add`]).
+    ///
+    /// # Panics
+    /// Panics if `u.len() != rows` or `v.len() != cols`.
+    pub fn axpy_outer(&mut self, u: &[Complex64], v: &[Complex64]) {
+        assert_eq!(u.len(), self.rows, "outer-update row length mismatch");
+        assert_eq!(v.len(), self.cols, "outer-update column length mismatch");
+        let mut idx = 0;
+        for &ur in u {
+            for &vc in v {
+                self.data[idx] += ur * vc.conj();
+                idx += 1;
+            }
+        }
+    }
+
+    /// Multiplies every entry by a real scalar in place (the
+    /// non-allocating sibling of [`CMatrix::scale`]).
+    pub fn scale_in_place(&mut self, k: f64) {
+        for z in &mut self.data {
+            *z = z.scale(k);
+        }
     }
 }
 
@@ -441,6 +482,31 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_dimension_panics() {
         let _ = CMatrix::zeros(0, 3);
+    }
+
+    #[test]
+    fn axpy_outer_matches_outer_plus_add() {
+        let u = [c(1.0, 0.5), c(0.0, 1.0), c(-0.7, 0.2)];
+        let v = [c(2.0, -0.3), c(0.4, 1.1), c(0.0, -1.0)];
+        let mut acc = CMatrix::identity(3);
+        let expect = &CMatrix::identity(3) + &CMatrix::outer(&u, &v);
+        acc.axpy_outer(&u, &v);
+        assert!((&acc - &expect).frobenius_norm() < 1e-15);
+    }
+
+    #[test]
+    fn scale_in_place_matches_scale() {
+        let a = CMatrix::from_fn(2, 3, |r, cc| c(r as f64 + 0.5, cc as f64 - 1.0));
+        let mut b = a.clone();
+        b.scale_in_place(0.37);
+        assert_eq!(b, a.scale(0.37));
+    }
+
+    #[test]
+    #[should_panic(expected = "row length mismatch")]
+    fn axpy_outer_shape_mismatch_panics() {
+        let mut a = CMatrix::zeros(2, 2);
+        a.axpy_outer(&[c(1.0, 0.0)], &[c(1.0, 0.0), c(0.0, 1.0)]);
     }
 
     #[test]

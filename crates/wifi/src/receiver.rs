@@ -135,6 +135,28 @@ impl CsiReceiver {
         })
     }
 
+    /// Derives an independent receiver for a parallel work item: same
+    /// link, configuration and calibrated gains, but a fresh RNG stream
+    /// seeded by `seed`, with the clock, sequence counter and session
+    /// drift state reset. Two forks with the same seed produce identical
+    /// captures regardless of what the parent (or any sibling fork) has
+    /// emitted — the foundation of the campaign's determinism contract:
+    /// each monitoring window captures on its own fork, so the result is
+    /// a pure function of `(parent link state, seed)` and independent of
+    /// scheduling order.
+    pub fn fork(&self, seed: u64) -> CsiReceiver {
+        let mut rx = self.clone();
+        rx.rng = SmallRng::seed_from_u64(seed);
+        rx.seq = 0;
+        rx.time = 0.0;
+        rx.session_gain = 1.0;
+        rx.interferer_center = self.config.band.num_subcarriers() / 2;
+        for d in &mut rx.drift {
+            *d = mpdf_rfmath::complex::Complex64::ZERO;
+        }
+        rx
+    }
+
     /// Resamples the session clutter drift: one weak extra path with
     /// random delay (10–80 ns), arrival angle (±75°) and phase, at the
     /// configured relative amplitude. Call between "sessions" (e.g.
@@ -451,6 +473,33 @@ mod tests {
         // Multipath superposition: element phases exist and are not all
         // exactly equal.
         assert!(d01.abs() + d12.abs() > 1e-6);
+    }
+
+    #[test]
+    fn forks_with_equal_seeds_are_identical() {
+        let mut rx = CsiReceiver::new(link(), 7).unwrap();
+        // Perturb the parent's RNG/clock/drift state.
+        rx.resample_drift();
+        let _ = rx.capture_static(None, 4).unwrap();
+        let a = rx.fork(42).capture_static(None, 3).unwrap();
+        // Perturb the parent again: forks must not care.
+        rx.resample_drift();
+        let _ = rx.capture_static(None, 2).unwrap();
+        let b = rx.fork(42).capture_static(None, 3).unwrap();
+        assert_eq!(a, b);
+        let c = rx.fork(43).capture_static(None, 3).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn fork_resets_clock_sequence_and_drift() {
+        let mut rx = CsiReceiver::new(link(), 7).unwrap();
+        rx.resample_drift();
+        let _ = rx.capture_static(None, 10).unwrap();
+        let mut f = rx.fork(1);
+        assert_eq!(f.clock(), 0.0);
+        let p = f.capture_static(None, 1).unwrap();
+        assert_eq!(p[0].seq, 0);
     }
 
     #[test]

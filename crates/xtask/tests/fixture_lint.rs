@@ -45,6 +45,10 @@ fn seeded_violations_are_each_detected() {
             "crates/rfmath/src/lib.rs:8: [lossy-cast]",
             "undocumented f64→f32 truncation",
         ),
+        (
+            "crates/par/src/lib.rs:12: [no-panic]",
+            "lock unwrap in the parallel layer",
+        ),
     ];
     for (needle, what) in expected {
         assert!(
@@ -57,8 +61,8 @@ fn seeded_violations_are_each_detected() {
     // binary entry point and the #[cfg(test)] module must stay quiet.
     // (crate-root-attrs fires once per missing attribute.)
     assert!(
-        stdout.contains("xtask lint: 6 violation(s)"),
-        "exactly the 6 seeded violations should fire:\n{stdout}"
+        stdout.contains("xtask lint: 7 violation(s)"),
+        "exactly the 7 seeded violations should fire:\n{stdout}"
     );
     assert!(
         !stdout.contains("bin/tool.rs"),

@@ -1,0 +1,18 @@
+//! Fixture parallel-layer crate: proves the lint walker covers
+//! `crates/par` like any other member — one planted `no-panic`
+//! violation (a poisoned-lock unwrap) and one annotated escape hatch
+//! that must stay quiet.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::Mutex;
+
+pub fn locks_carelessly(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap()
+}
+
+pub fn locks_deliberately(m: &Mutex<u32>) -> u32 {
+    // lint: allow(no-panic) — fixture: poisoning recovered by the caller
+    *m.lock().expect("fixture lock")
+}

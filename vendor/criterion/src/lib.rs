@@ -7,10 +7,44 @@
 //! `sample_size`, `bench_function`, `iter`, [`criterion_group!`] /
 //! [`criterion_main!`] — and reports a simple mean wall-clock time per
 //! iteration instead of criterion's full statistical analysis.
+//!
+//! Beyond the console lines, every run also writes a machine-readable
+//! `BENCH_<harness>.json` (e.g. `BENCH_micro.json` for the `micro`
+//! bench target) into the working directory: a JSON array of
+//! `{name, mean_ns_per_iter, samples, threads}` records, one per
+//! benchmark, for CI artifacts and regression tracking. Set
+//! `MPDF_BENCH_SAMPLES` to override every group's sample count (CI quick
+//! mode uses a small value to bound runtime).
 
 #![forbid(unsafe_code)]
 
+use std::sync::{Mutex, OnceLock, PoisonError};
 use std::time::Instant;
+
+/// One finished benchmark, as recorded for the JSON report.
+#[derive(Debug, Clone)]
+struct Record {
+    name: String,
+    mean_ns_per_iter: f64,
+    samples: usize,
+}
+
+fn records() -> &'static Mutex<Vec<Record>> {
+    static RECORDS: OnceLock<Mutex<Vec<Record>>> = OnceLock::new();
+    RECORDS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Sample-count override from `MPDF_BENCH_SAMPLES`, if set and valid.
+fn sample_override() -> Option<usize> {
+    std::env::var("MPDF_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map(|n| n.max(1))
+}
+
+fn effective_samples(requested: usize) -> usize {
+    sample_override().unwrap_or(requested).max(1)
+}
 
 /// Benchmark harness entry point (stand-in for `criterion::Criterion`).
 #[derive(Debug, Default)]
@@ -23,6 +57,7 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
         println!("group: {name}");
         BenchmarkGroup {
+            name: name.to_string(),
             sample_size: 10,
         }
     }
@@ -32,7 +67,10 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut group = BenchmarkGroup { sample_size: 10 };
+        let mut group = BenchmarkGroup {
+            name: String::new(),
+            sample_size: 10,
+        };
         group.bench_function(id, f);
         self
     }
@@ -41,6 +79,7 @@ impl Criterion {
 /// A named set of benchmarks sharing configuration.
 #[derive(Debug)]
 pub struct BenchmarkGroup {
+    name: String,
     sample_size: usize,
 }
 
@@ -51,24 +90,42 @@ impl BenchmarkGroup {
         self
     }
 
-    /// Times `f` and prints a mean per-iteration wall-clock estimate.
+    /// Times `f`, prints a mean per-iteration wall-clock estimate and
+    /// records it for the JSON report.
     pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
+        let samples = effective_samples(self.sample_size);
         let mut bencher = Bencher {
             iterations: 0,
             elapsed_ns: 0,
         };
-        for _ in 0..self.sample_size {
+        for _ in 0..samples {
             f(&mut bencher);
         }
-        let per_iter = if bencher.iterations == 0 {
-            0
+        let mean = if bencher.iterations == 0 {
+            0.0
         } else {
-            bencher.elapsed_ns / bencher.iterations
+            bencher.elapsed_ns as f64 / bencher.iterations as f64
         };
-        println!("  {id}: {per_iter} ns/iter ({} iters)", bencher.iterations);
+        println!(
+            "  {id}: {:.0} ns/iter ({} iters)",
+            mean, bencher.iterations
+        );
+        let full_name = if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{id}", self.name)
+        };
+        records()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(Record {
+                name: full_name,
+                mean_ns_per_iter: mean,
+                samples,
+            });
         self
     }
 
@@ -100,6 +157,77 @@ impl Bencher {
 /// Re-export point so `use criterion::black_box` keeps working.
 pub use std::hint::black_box;
 
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Derives the report stem from the harness executable name: cargo
+/// builds bench targets as `<name>-<metadata hash>`, so strip a trailing
+/// `-<hex>` suffix when one is present.
+fn harness_stem() -> String {
+    let exe = std::env::args().next().unwrap_or_default();
+    let file = std::path::Path::new(&exe)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("bench")
+        .to_string();
+    match file.rsplit_once('-') {
+        Some((stem, hash))
+            if !stem.is_empty()
+                && hash.len() >= 8
+                && hash.chars().all(|c| c.is_ascii_hexdigit()) =>
+        {
+            stem.to_string()
+        }
+        _ => file,
+    }
+}
+
+/// Serializes the accumulated records as a JSON array.
+fn render_report(recs: &[Record], threads: usize) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in recs.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"name\": \"{}\", \"mean_ns_per_iter\": {:.3}, \"samples\": {}, \"threads\": {}}}{}\n",
+            json_escape(&r.name),
+            r.mean_ns_per_iter,
+            r.samples,
+            threads,
+            if i + 1 < recs.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Writes `BENCH_<harness>.json` with every benchmark recorded so far.
+/// Called automatically by the `criterion_main!`-generated `main`.
+///
+/// The report lands in the working directory (the benched package's
+/// root under `cargo bench`); set `MPDF_BENCH_OUT` to redirect it to
+/// another directory, e.g. the workspace root in CI.
+pub fn write_report() {
+    let recs = records()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone();
+    if recs.is_empty() {
+        return;
+    }
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let file = format!("BENCH_{}.json", harness_stem());
+    let path = match std::env::var("MPDF_BENCH_OUT") {
+        Ok(dir) if !dir.is_empty() => std::path::Path::new(&dir).join(&file),
+        _ => std::path::PathBuf::from(&file),
+    };
+    match std::fs::write(&path, render_report(&recs, threads)) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+}
+
 /// Bundles benchmark functions into one runnable group function.
 #[macro_export]
 macro_rules! criterion_group {
@@ -112,19 +240,21 @@ macro_rules! criterion_group {
     };
 }
 
-/// Expands to `fn main` running the listed groups.
+/// Expands to `fn main` running the listed groups, then writing the
+/// machine-readable `BENCH_<harness>.json` report.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_report();
         }
     };
 }
 
 #[cfg(test)]
 mod tests {
-    use super::Criterion;
+    use super::*;
 
     #[test]
     fn group_times_a_closure() {
@@ -135,5 +265,68 @@ mod tests {
         g.bench_function("count", |b| b.iter(|| runs += 1));
         g.finish();
         assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn bench_results_are_recorded_with_group_prefix() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("recgroup");
+        g.sample_size(2);
+        g.bench_function("recorded", |b| b.iter(|| 1 + 1));
+        g.finish();
+        let recs = records().lock().unwrap();
+        let r = recs
+            .iter()
+            .find(|r| r.name == "recgroup/recorded")
+            .expect("record present");
+        assert_eq!(r.samples, 2);
+        assert!(r.mean_ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn report_renders_valid_shape() {
+        let recs = vec![
+            Record {
+                name: "g/a".into(),
+                mean_ns_per_iter: 12.5,
+                samples: 10,
+            },
+            Record {
+                name: "g/b\"q".into(),
+                mean_ns_per_iter: 3.0,
+                samples: 5,
+            },
+        ];
+        let json = render_report(&recs, 4);
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with("]\n"));
+        assert!(json.contains("\"name\": \"g/a\""));
+        assert!(json.contains("\"mean_ns_per_iter\": 12.500"));
+        assert!(json.contains("\"threads\": 4"));
+        assert!(json.contains("g/b\\\"q"));
+        // One comma: two records.
+        assert_eq!(json.matches("},").count(), 1);
+    }
+
+    #[test]
+    fn harness_stem_strips_cargo_hash() {
+        // Can't fake argv here, but the splitting logic is observable
+        // through representative names.
+        fn split(name: &str) -> String {
+            match name.rsplit_once('-') {
+                Some((stem, hash))
+                    if !stem.is_empty()
+                        && hash.len() >= 8
+                        && hash.chars().all(|c| c.is_ascii_hexdigit()) =>
+                {
+                    stem.to_string()
+                }
+                _ => name.to_string(),
+            }
+        }
+        assert_eq!(split("micro-0c5936224fe3b496"), "micro");
+        assert_eq!(split("figures-deadbeef01234567"), "figures");
+        assert_eq!(split("micro"), "micro");
+        assert_eq!(split("ext-sweep"), "ext-sweep");
     }
 }
