@@ -127,5 +127,50 @@ fn bench_detection(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_numerics, bench_physics, bench_detection);
+fn bench_obs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs");
+    // Default state — tracing and timing both off. This is the tax every
+    // instrumented stage pays in production, so it must stay negligible
+    // next to the per-decision budget above.
+    g.bench_function("span_enter_exit_disabled", |b| {
+        b.iter(|| {
+            let guard = mpdf_obs::stage!("bench.span.disabled");
+            black_box(&guard);
+        });
+    });
+    // Timing on: span durations recorded into a lock-free histogram.
+    mpdf_obs::metrics::enable_timing();
+    g.bench_function("span_enter_exit_timed", |b| {
+        b.iter(|| {
+            let guard = mpdf_obs::stage!("bench.span.timed");
+            black_box(&guard);
+        });
+    });
+    mpdf_obs::metrics::disable_timing();
+    // Tracing on with a bounded in-memory subscriber: full event emission.
+    let ring = std::sync::Arc::new(mpdf_obs::trace::RingBuffer::new(1024));
+    mpdf_obs::trace::install(ring as std::sync::Arc<dyn mpdf_obs::trace::Subscriber>);
+    g.bench_function("span_enter_exit_ring", |b| {
+        b.iter(|| {
+            let guard = mpdf_obs::stage!("bench.span.ring");
+            black_box(&guard);
+        });
+    });
+    mpdf_obs::trace::uninstall();
+    let counter = mpdf_obs::metrics::counter("bench.counter");
+    g.bench_function("counter_inc", |b| b.iter(|| counter.inc()));
+    let hist = mpdf_obs::metrics::histogram("bench.histogram");
+    g.bench_function("histogram_record", |b| {
+        b.iter(|| hist.record(black_box(1234)));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_numerics,
+    bench_physics,
+    bench_detection,
+    bench_obs
+);
 criterion_main!(benches);

@@ -117,10 +117,15 @@ impl<S: DetectionScheme> Detector<S> {
     /// Propagates scheme errors.
     pub fn decide(&self, window: &[CsiPacket]) -> Result<Decision, DetectError> {
         let score = self.score(window)?;
+        let detected = score > self.threshold;
+        mpdf_obs::counter!("core.decisions_total").inc();
+        if detected {
+            mpdf_obs::counter!("core.detections_total").inc();
+        }
         Ok(Decision {
             score,
             threshold: self.threshold,
-            detected: score > self.threshold,
+            detected,
         })
     }
 

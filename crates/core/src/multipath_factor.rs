@@ -84,6 +84,7 @@ pub fn multipath_factors_row(csi_row: &[Complex64], freqs_hz: &[f64]) -> Vec<f64
 /// Panics if the frequency grid length differs from the packet's
 /// subcarrier count.
 pub fn multipath_factors(packet: &CsiPacket, freqs_hz: &[f64]) -> Vec<f64> {
+    let _stage = mpdf_obs::stage!("core.mu_k");
     assert_eq!(
         packet.subcarriers(),
         freqs_hz.len(),

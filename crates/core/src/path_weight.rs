@@ -67,6 +67,7 @@ impl PathWeights {
         theta_max_deg: f64,
         cap: f64,
     ) -> Self {
+        let _stage = mpdf_obs::stage!("core.path_weight");
         assert!(
             theta_min_deg < theta_max_deg,
             "angular gate must be non-empty"

@@ -87,6 +87,7 @@ impl CalibrationProfile {
         packets: &[CsiPacket],
         config: &DetectorConfig,
     ) -> Result<CalibrationProfile, DetectError> {
+        let _stage = mpdf_obs::stage!("core.calibration");
         if packets.is_empty() {
             return Err(DetectError::EmptyWindow);
         }

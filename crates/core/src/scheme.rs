@@ -91,6 +91,7 @@ impl DetectionScheme for Baseline {
         window: &[CsiPacket],
         config: &DetectorConfig,
     ) -> Result<f64, DetectError> {
+        let _stage = mpdf_obs::stage!("core.score.baseline");
         let window = sanitized_window(profile, window, config)?;
         let n = window.len() as f64;
         let mut total = 0.0;
@@ -131,6 +132,7 @@ impl DetectionScheme for RssiBaseline {
         window: &[CsiPacket],
         config: &DetectorConfig,
     ) -> Result<f64, DetectError> {
+        let _stage = mpdf_obs::stage!("core.score.rssi");
         let window = sanitized_window(profile, window, config)?;
         let monitored: f64 = window
             .iter()
@@ -163,6 +165,7 @@ impl DetectionScheme for SubcarrierWeighting {
         window: &[CsiPacket],
         config: &DetectorConfig,
     ) -> Result<f64, DetectError> {
+        let _stage = mpdf_obs::stage!("core.score.subcarrier");
         let window = sanitized_window(profile, window, config)?;
         let freqs = config.band.frequencies();
         let weights = SubcarrierWeights::from_packets(&window, &freqs);
@@ -222,6 +225,7 @@ impl DetectionScheme for SubcarrierAndPathWeighting {
         window: &[CsiPacket],
         config: &DetectorConfig,
     ) -> Result<f64, DetectError> {
+        let _stage = mpdf_obs::stage!("core.score.combined");
         let window = sanitized_window(profile, window, config)?;
         let freqs = config.band.frequencies();
         let weights = SubcarrierWeights::from_packets(&window, &freqs);

@@ -114,6 +114,7 @@ impl SubcarrierWeights {
     /// # Panics
     /// Panics when the window is empty or the frequency grid mismatches.
     pub fn from_packets(window: &[CsiPacket], freqs_hz: &[f64]) -> Self {
+        let _stage = mpdf_obs::stage!("core.subcarrier_weight");
         assert!(!window.is_empty(), "need at least one packet");
         let factors: Vec<Vec<f64>> = window
             .iter()

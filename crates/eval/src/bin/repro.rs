@@ -54,13 +54,22 @@ options:
   --threads <n>      worker threads (0 = all cores); output is identical
                      for every value
   --csvdir <dir>     export each experiment's key series as CSV
-  --help             print this message";
+  --case <name>      select an experiment (alias for the positional form)
+  --trace <path>     write an NDJSON span trace of the run to <path>
+  --metrics <path>   write a metrics snapshot (counters, gauges, per-stage
+                     latency histograms) as JSON to <path>
+  --help             print this message
+
+observability flags only add artifacts: stdout and --csvdir output stay
+byte-identical with or without them, at any thread count.";
 
 struct Options {
     cfg: CampaignConfig,
     locations: usize,
     packets: usize,
     csv_dir: Option<std::path::PathBuf>,
+    trace: Option<std::path::PathBuf>,
+    metrics: Option<std::path::PathBuf>,
     experiments: Vec<String>,
     help: bool,
 }
@@ -88,6 +97,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut packets = 1000usize;
     let mut experiments = Vec::new();
     let mut csv_dir = None;
+    let mut trace = None;
+    let mut metrics = None;
     let mut help = false;
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
@@ -119,6 +130,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "packets" => packets = parse_num(flag, value, "a non-negative integer")?,
             "threads" => cfg.threads = parse_num(flag, value, "a non-negative integer")?,
             "csvdir" => csv_dir = Some(std::path::PathBuf::from(value)),
+            "case" => experiments.push(value.clone()),
+            "trace" => trace = Some(std::path::PathBuf::from(value)),
+            "metrics" => metrics = Some(std::path::PathBuf::from(value)),
             other => return Err(format!("unknown option --{other}")),
         }
     }
@@ -130,6 +144,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         locations,
         packets,
         csv_dir,
+        trace,
+        metrics,
         experiments,
         help,
     })
@@ -145,6 +161,28 @@ struct ExperimentOutput {
 }
 
 fn run_experiment(name: &str, opts: &Options) -> Result<ExperimentOutput, String> {
+    let _stage = mpdf_obs::stage!("repro.experiment");
+    mpdf_obs::trace::instant(match name {
+        // Static tag so the trace shows which experiment a span tree
+        // belongs to without allocating per event.
+        "fig2a" => "repro.start.fig2a",
+        "fig2b" => "repro.start.fig2b",
+        "fig3" => "repro.start.fig3",
+        "fig4" => "repro.start.fig4",
+        "fig5b" => "repro.start.fig5b",
+        "fig5c" => "repro.start.fig5c",
+        "fig7" => "repro.start.fig7",
+        "fig8" => "repro.start.fig8",
+        "fig9" => "repro.start.fig9",
+        "fig10" => "repro.start.fig10",
+        "fig11" => "repro.start.fig11",
+        "fig12" => "repro.start.fig12",
+        "ext-hmm" => "repro.start.ext-hmm",
+        "ext-array" => "repro.start.ext-array",
+        "ext-ablate" => "repro.start.ext-ablate",
+        "ext-sweep" => "repro.start.ext-sweep",
+        _ => "repro.start.unknown",
+    });
     let started = std::time::Instant::now();
     let mut csvs: Vec<(String, String)> = Vec::new();
     let err = |e: mpdf_core::error::DetectError| format!("{name}: {e}");
@@ -349,11 +387,37 @@ fn main() {
         std::process::exit(2);
     }
 
+    // Observability backends (stderr/artifacts only — stdout is reserved
+    // for the reports and stays byte-identical with these flags on).
+    if let Some(path) = &opts.trace {
+        match mpdf_obs::trace::NdjsonWriter::create(path) {
+            Ok(writer) => {
+                mpdf_obs::trace::install(std::sync::Arc::new(writer));
+                eprintln!("tracing spans to {}", path.display());
+            }
+            Err(e) => {
+                eprintln!("error: create trace file {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    if opts.metrics.is_some() {
+        mpdf_obs::metrics::enable_timing();
+    }
+
     // Fan the experiments out, then emit everything in request order so
     // stdout and the CSV directory are independent of the thread count.
-    let results = mpdf_par::map_indexed(opts.cfg.threads, &selected, |_, name| {
+    // A panicking experiment surfaces as a named pool error instead of
+    // unwinding through main with a truncated result set.
+    let results = match mpdf_par::catch_map_indexed(opts.cfg.threads, &selected, |_, name| {
         run_experiment(name, &opts)
-    });
+    }) {
+        Ok(results) => results,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
     let mut failures = 0usize;
     for (name, result) in selected.iter().zip(results) {
         match result {
@@ -371,6 +435,18 @@ fn main() {
             }
             Err(msg) => {
                 eprintln!("error: {msg}");
+                failures += 1;
+            }
+        }
+    }
+    // Flush observability artifacts before any exit path (process::exit
+    // skips destructors, so the trace writer is flushed explicitly).
+    mpdf_obs::trace::uninstall();
+    if let Some(path) = &opts.metrics {
+        match mpdf_obs::metrics::write_json(path) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("error: write metrics {}: {e}", path.display());
                 failures += 1;
             }
         }

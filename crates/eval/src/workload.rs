@@ -209,6 +209,7 @@ fn capture_window(
     window_idx: u64,
     label_salt: u64,
 ) -> Result<Vec<CsiPacket>, TraceError> {
+    let _stage = mpdf_obs::stage!("eval.window");
     let mut receiver = template.fork(window_stream(cfg, case, window_idx, label_salt));
     // Each monitoring window belongs to a different "session" than the
     // calibration capture: the clutter has drifted.
@@ -260,6 +261,7 @@ pub fn run_campaign(
     cases: &[LinkCase],
     cfg: &CampaignConfig,
 ) -> Result<Vec<CaseData>, mpdf_core::error::DetectError> {
+    let _stage = mpdf_obs::stage!("eval.campaign");
     // Stage 1: per-case template receiver and calibration profile.
     let calibrated: Vec<(CsiReceiver, CalibrationProfile)> =
         mpdf_par::try_map_indexed(cfg.threads, cases, |_, case| {
@@ -268,6 +270,7 @@ pub fn run_campaign(
                 .fork(mix(cfg.seed, case.id as u64, CALIBRATION_STREAM))
                 .capture_static(None, cfg.calibration_packets)?;
             let profile = CalibrationProfile::build(&calibration, &cfg.detector)?;
+            mpdf_obs::counter!("eval.cases_total").inc();
             Ok::<_, mpdf_core::error::DetectError>((template, profile))
         })?;
 
@@ -302,6 +305,11 @@ pub fn run_campaign(
         let case = &cases[job.case_idx];
         let template = &calibrated[job.case_idx].0;
         let packets = capture_window(template, case, cfg, job.monitored, job.widx, job.salt)?;
+        mpdf_obs::counter!("eval.windows_total").inc();
+        mpdf_obs::counter!("eval.packets_total").add(packets.len() as u64);
+        // Per-case breakdown keyed by the scenario's case id (dynamic
+        // name, so it goes through the registry rather than the macro).
+        mpdf_obs::metrics::counter(&format!("eval.case{}.windows_total", case.id)).inc();
         Ok::<_, mpdf_core::error::DetectError>(WindowRecord {
             packets,
             human: job.monitored.map(|pos| annotate(case, pos)),
@@ -355,10 +363,12 @@ pub fn score_campaign<S: DetectionScheme>(
     scheme: &S,
     detector: &DetectorConfig,
 ) -> Result<Vec<ScoredWindow>, mpdf_core::error::DetectError> {
+    let _stage = mpdf_obs::stage!("eval.score");
     let mut out = Vec::new();
     for case in data {
         for w in &case.windows {
             let score = scheme.score(&case.profile, &w.packets, detector)?;
+            mpdf_obs::counter!("eval.scored_windows_total").inc();
             out.push(ScoredWindow {
                 case_id: case.case_id,
                 score,

@@ -43,6 +43,7 @@ impl Error for CovarianceError {}
 /// # Errors
 /// [`CovarianceError::NoSnapshots`] / [`CovarianceError::RaggedSnapshots`].
 pub fn sample_covariance(snapshots: &[Vec<Complex64>]) -> Result<CMatrix, CovarianceError> {
+    let _stage = mpdf_obs::stage!("music.covariance");
     let first = snapshots.first().ok_or(CovarianceError::NoSnapshots)?;
     let m = first.len();
     if m == 0 || snapshots.iter().any(|s| s.len() != m) {

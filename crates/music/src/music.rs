@@ -385,19 +385,25 @@ pub fn pseudospectrum(
         covariance,
         1e-9 * (1.0 + covariance.trace().norm()),
     );
-    let eig = hermitian_eig(covariance, 1e-10)?;
+    let eig = {
+        let _stage = mpdf_obs::stage!("music.eig");
+        hermitian_eig(covariance, 1e-10)
+    }?;
     let en = eig.noise_subspace(num_sources);
     // Noise projector `E_N E_Nᴴ`, computed once per call: every grid
     // point then costs one allocation-free quadratic form against the
     // cached steering table.
     let projector = &en * &en.hermitian();
     let table = SteeringTable::cached(steering, grid);
-    let values: Vec<f64> = (0..table.len())
-        .map(|i| {
-            let denom = projector.quadratic_form(table.vector(i)).re.max(1e-12);
-            1.0 / denom
-        })
-        .collect();
+    let values: Vec<f64> = {
+        let _stage = mpdf_obs::stage!("music.scan");
+        (0..table.len())
+            .map(|i| {
+                let denom = projector.quadratic_form(table.vector(i)).re.max(1e-12);
+                1.0 / denom
+            })
+            .collect()
+    };
     // The denominator is clamped away from zero, so the pseudospectrum
     // must come out strictly positive and finite.
     contract::assert_positive("MUSIC pseudospectrum", &values);
@@ -426,9 +432,14 @@ pub fn bartlett_spectrum(
         return Err(MusicError::Covariance(CovarianceError::RaggedSnapshots));
     }
     let table = SteeringTable::cached(steering, grid);
-    let values: Vec<f64> = (0..table.len())
-        .map(|i| covariance.quadratic_form(table.vector(i)).re.max(0.0))
-        .collect();
+    let values: Vec<f64> = {
+        // Same stage as the MUSIC scan: both walk the steering table, and
+        // monitoring windows only take this Bartlett path.
+        let _stage = mpdf_obs::stage!("music.scan");
+        (0..table.len())
+            .map(|i| covariance.quadratic_form(table.vector(i)).re.max(0.0))
+            .collect()
+    };
     contract::assert_non_negative("Bartlett spectrum", &values);
     Ok(Pseudospectrum::new(table.angles_deg().to_vec(), values))
 }

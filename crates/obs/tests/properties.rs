@@ -1,0 +1,121 @@
+//! Property-based tests for histogram bucket boundaries and quantile
+//! estimation in `mpdf-obs`.
+
+use mpdf_obs::metrics::{Histogram, HISTOGRAM_BUCKETS};
+use proptest::prelude::*;
+
+/// Arbitrary sample streams spanning many bucket magnitudes: raw draws in
+/// `[0, 2^48)` shifted down by a random number of bits so small values
+/// (and zero) appear often.
+fn samples_strategy() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(
+        (0u64..(1 << 48), 0u32..48).prop_map(|(v, shift)| v >> shift),
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded(samples in samples_strategy()) {
+        let h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let min = *samples.iter().min().expect("non-empty");
+        let max = *samples.iter().max().expect("non-empty");
+        let s = h.snapshot();
+        prop_assert_eq!(s.count, samples.len() as u64);
+        prop_assert_eq!(s.min, min);
+        prop_assert_eq!(s.max, max);
+        prop_assert_eq!(s.sum, samples.iter().sum::<u64>());
+        // Quantiles stay within the recorded value range...
+        for q in [s.p50, s.p95, s.p99] {
+            prop_assert!(q >= min as f64, "quantile {} below min {}", q, min);
+            prop_assert!(q <= max as f64, "quantile {} above max {}", q, max);
+        }
+        // ...and are monotone in the quantile argument.
+        prop_assert!(s.p50 <= s.p95, "p50 {} > p95 {}", s.p50, s.p95);
+        prop_assert!(s.p95 <= s.p99, "p95 {} > p99 {}", s.p95, s.p99);
+        let q0 = h.quantile(0.0).expect("non-empty");
+        let q1 = h.quantile(1.0).expect("non-empty");
+        prop_assert!(q0 <= q1);
+        prop_assert!(q1 <= max as f64);
+    }
+
+    #[test]
+    fn single_value_streams_have_exact_quantiles(
+        value in (0u64..(1 << 48), 0u32..48).prop_map(|(v, s)| v >> s),
+        repeats in 1usize..50,
+    ) {
+        let h = Histogram::new();
+        for _ in 0..repeats {
+            h.record(value);
+        }
+        let s = h.snapshot();
+        prop_assert_eq!(s.count, repeats as u64);
+        prop_assert_eq!(s.min, value);
+        prop_assert_eq!(s.max, value);
+        // Exactness on single-valued streams: every quantile collapses to
+        // the one recorded value, with no interpolation error.
+        prop_assert_eq!(s.p50, value as f64);
+        prop_assert_eq!(s.p95, value as f64);
+        prop_assert_eq!(s.p99, value as f64);
+        prop_assert_eq!(h.quantile(0.25).expect("non-empty"), value as f64);
+    }
+
+    #[test]
+    fn bucket_boundaries_round_trip(exp in 0u32..63) {
+        // 2^exp and 2^exp - 1 land in adjacent buckets: recording both
+        // must preserve counts and keep quantiles within [min, max].
+        let lo = (1u64 << exp) - 1;
+        let hi = 1u64 << exp;
+        let h = Histogram::new();
+        h.record(lo);
+        h.record(hi);
+        let s = h.snapshot();
+        prop_assert_eq!(s.count, 2);
+        prop_assert_eq!(s.min, lo);
+        prop_assert_eq!(s.max, hi);
+        prop_assert!(s.p50 >= lo as f64 && s.p50 <= hi as f64);
+        prop_assert!(s.p99 >= lo as f64 && s.p99 <= hi as f64);
+    }
+
+    #[test]
+    fn quantile_argument_monotonicity_fine_grained(samples in samples_strategy()) {
+        let h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let mut last = f64::MIN;
+        for i in 0..=20 {
+            let q = h.quantile(f64::from(i) / 20.0).expect("non-empty");
+            prop_assert!(
+                q >= last,
+                "quantile({}) = {} dropped below previous {}",
+                f64::from(i) / 20.0, q, last
+            );
+            last = q;
+        }
+    }
+}
+
+#[test]
+fn extreme_bucket_values_are_representable() {
+    let h = Histogram::new();
+    h.record(0);
+    h.record(u64::MAX);
+    let s = h.snapshot();
+    assert_eq!(s.count, 2);
+    assert_eq!(s.min, 0);
+    assert_eq!(s.max, u64::MAX);
+    assert!(s.p50 >= 0.0 && s.p99 <= u64::MAX as f64);
+    assert_eq!(s.sum, u64::MAX, "sum wraps only past u64::MAX total");
+}
+
+#[test]
+fn bucket_count_matches_u64_width() {
+    // 1 zero bucket + 64 power-of-two buckets cover the whole u64 range.
+    assert_eq!(HISTOGRAM_BUCKETS, 65);
+}

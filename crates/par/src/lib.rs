@@ -25,8 +25,57 @@
 
 pub mod queue;
 
+use std::any::Any;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
+
+/// Errors surfaced by the fallible pool entry points.
+#[derive(Debug)]
+pub enum PoolError {
+    /// The worker executing item `index` panicked; `message` is the
+    /// panic payload when it was a string, or a placeholder otherwise.
+    ///
+    /// When several workers panic in one run, the lowest-indexed panic is
+    /// reported (matching the input-order error contract of
+    /// [`try_map_indexed`]).
+    WorkerPanic {
+        /// Index of the input item whose closure panicked.
+        index: usize,
+        /// Stringified panic payload.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::WorkerPanic { index, message } => {
+                write!(f, "worker panicked on item {index}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// Per-item outcome inside the pool: unprocessed (a sibling panicked and
+/// the queue closed early), completed, or panicked with the payload.
+enum Slot<R> {
+    Empty,
+    Done(R),
+    Panicked(Box<dyn Any + Send>),
+}
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
 
 /// Number of worker threads the machine supports; falls back to 1 when
 /// the parallelism degree cannot be queried.
@@ -57,9 +106,70 @@ pub fn resolve_threads(requested: usize) -> usize {
 /// than buffering the whole work list.
 ///
 /// # Panics
-/// If `f` panics on a worker thread the panic is propagated to the
-/// caller when the thread scope joins.
+/// If `f` panics on a worker thread the panic payload is re-raised on
+/// the calling thread (the lowest-indexed panic when several workers
+/// trip at once). Use [`catch_map_indexed`] to receive it as a
+/// [`PoolError`] instead.
 pub fn map_indexed<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let mut out = Vec::with_capacity(items.len());
+    for slot in run_map(threads, items, f) {
+        match slot {
+            Slot::Done(r) => out.push(r),
+            Slot::Panicked(payload) => resume_unwind(payload),
+            // Unprocessed slots only exist when a lower-indexed item
+            // panicked, and that panic re-raised above.
+            Slot::Empty => {
+                // lint: allow(no-panic) — run_map fills every slot unless a sibling panicked, and the lowest-indexed panic has already been re-raised by the arm above
+                unreachable!("pool left a slot unfilled without a recorded panic")
+            }
+        }
+    }
+    out
+}
+
+/// Like [`map_indexed`], but a worker panic is returned as
+/// [`PoolError::WorkerPanic`] (and counted in the `par.worker_panics_total`
+/// metric) instead of unwinding through the caller — a truncated result
+/// set can never be mistaken for a complete one.
+///
+/// # Errors
+/// Returns the lowest-indexed worker panic as a named error.
+pub fn catch_map_indexed<T, R, F>(threads: usize, items: &[T], f: F) -> Result<Vec<R>, PoolError>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let mut out = Vec::with_capacity(items.len());
+    for (index, slot) in run_map(threads, items, f).into_iter().enumerate() {
+        match slot {
+            Slot::Done(r) => out.push(r),
+            Slot::Panicked(payload) => {
+                return Err(PoolError::WorkerPanic {
+                    index,
+                    message: panic_message(payload.as_ref()),
+                });
+            }
+            // Indices are fed to the queue in order, so unprocessed
+            // slots sit strictly after the panicked one — which the
+            // match above has already returned.
+            Slot::Empty => {
+                // lint: allow(no-panic) — see map_indexed: an Empty slot without a preceding Panicked slot cannot be constructed by run_map
+                unreachable!("pool left a slot unfilled without a recorded panic")
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Shared pool core: maps `f` over `items` and records each item's
+/// outcome (done / panicked / never ran) without unwinding.
+fn run_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<Slot<R>>
 where
     T: Sync,
     R: Send,
@@ -67,42 +177,61 @@ where
 {
     let n = items.len();
     let workers = resolve_threads(threads).min(n);
-    if workers <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
-    }
-    /// Closes the work queue when a worker unwinds, so the producer's
-    /// blocking `push` wakes up and the panic can propagate through the
-    /// scope join instead of deadlocking.
-    struct CloseOnPanic<'a, T>(&'a queue::Bounded<T>);
-    impl<T> Drop for CloseOnPanic<'_, T> {
-        fn drop(&mut self) {
-            if std::thread::panicking() {
-                self.0.close();
+    let run_one = |i: usize| -> Slot<R> {
+        match catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))) {
+            Ok(r) => Slot::Done(r),
+            Err(payload) => {
+                mpdf_obs::counter!("par.worker_panics_total").inc();
+                Slot::Panicked(payload)
             }
         }
+    };
+    if workers <= 1 {
+        let mut out: Vec<Slot<R>> = (0..n).map(|_| Slot::Empty).collect();
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = run_one(i);
+            mpdf_obs::counter!("par.jobs_total").inc();
+            if matches!(slot, Slot::Panicked(_)) {
+                break;
+            }
+        }
+        return out;
     }
     let work = queue::Bounded::new(workers * 2);
-    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Slot<R>>> = (0..n).map(|_| Mutex::new(Slot::Empty)).collect();
+    mpdf_obs::counter!("par.workers_spawned_total").add(workers as u64);
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
-                let _guard = CloseOnPanic(&work);
+                let active = mpdf_obs::gauge!("par.workers_active");
+                active.add(1);
                 while let Some(i) = work.pop() {
-                    let result = f(i, &items[i]);
+                    let result = run_one(i);
+                    mpdf_obs::counter!("par.jobs_total").inc();
+                    let panicked = matches!(result, Slot::Panicked(_));
                     // Each slot is written exactly once by the worker
                     // that popped index `i`; poisoning is impossible
                     // because the lock is only held for the store below.
                     let mut slot = slots[i]
                         .lock()
                         .unwrap_or_else(std::sync::PoisonError::into_inner);
-                    *slot = Some(result);
+                    *slot = result;
+                    drop(slot);
+                    if panicked {
+                        // Abort the run: stop feeding work and let the
+                        // siblings drain out, mirroring the early exit a
+                        // propagating panic used to force.
+                        work.close();
+                        break;
+                    }
                 }
+                active.sub(1);
             });
         }
         for i in 0..n {
             if work.push(i).is_err() {
                 // A worker panicked and closed the queue; stop feeding
-                // and let the scope join surface the panic.
+                // and let the collection phase surface the panic.
                 break;
             }
         }
@@ -113,10 +242,6 @@ where
         .map(|slot| {
             slot.into_inner()
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
-        })
-        .map(|r| {
-            // lint: allow(no-panic) — the scope above joins every worker, so each claimed slot was filled; an empty slot means a worker panicked, and that panic has already propagated
-            r.expect("worker completed without storing a result")
         })
         .collect()
 }
@@ -207,6 +332,67 @@ mod tests {
             })
         });
         assert!(caught.is_err());
+    }
+
+    #[test]
+    fn catch_map_surfaces_worker_panic_as_error() {
+        let items: Vec<u32> = (0..64).collect();
+        let panics_before = mpdf_obs::metrics::counter("par.worker_panics_total").get();
+        let err = catch_map_indexed(4, &items, |_, &x| {
+            assert!(x != 9, "item exploded");
+            x * 2
+        })
+        .expect_err("panic must surface as PoolError");
+        let PoolError::WorkerPanic { index, message } = err;
+        assert_eq!(index, 9);
+        assert!(message.contains("item exploded"), "{message}");
+        assert!(
+            mpdf_obs::metrics::counter("par.worker_panics_total").get() > panics_before,
+            "panic must be counted"
+        );
+        // Display is usable in error chains.
+        let shown = PoolError::WorkerPanic {
+            index: 3,
+            message: "boom".to_owned(),
+        }
+        .to_string();
+        assert!(
+            shown.contains("item 3") && shown.contains("boom"),
+            "{shown}"
+        );
+    }
+
+    #[test]
+    fn catch_map_ok_matches_map_indexed() {
+        let items: Vec<u64> = (0..100).collect();
+        let plain = map_indexed(4, &items, |i, &x| x + i as u64);
+        let caught = catch_map_indexed(4, &items, |i, &x| x + i as u64).expect("no panic");
+        assert_eq!(plain, caught);
+        // Serial path too.
+        let serial = catch_map_indexed(1, &items, |i, &x| x + i as u64).expect("no panic");
+        assert_eq!(serial, plain);
+    }
+
+    #[test]
+    fn catch_map_serial_reports_panic_index() {
+        let items: Vec<u32> = (0..8).collect();
+        let err = catch_map_indexed(1, &items, |_, &x| {
+            assert!(x != 2, "serial boom");
+            x
+        })
+        .expect_err("panic must surface");
+        let PoolError::WorkerPanic { index, .. } = err;
+        assert_eq!(index, 2);
+    }
+
+    #[test]
+    fn pool_records_job_and_depth_metrics() {
+        let jobs_before = mpdf_obs::metrics::counter("par.jobs_total").get();
+        let items: Vec<u64> = (0..50).collect();
+        let out = map_indexed(4, &items, |_, &x| x + 1);
+        assert_eq!(out.len(), 50);
+        assert!(mpdf_obs::metrics::counter("par.jobs_total").get() >= jobs_before + 50);
+        assert!(mpdf_obs::metrics::gauge("par.queue_depth_max").get() >= 1);
     }
 
     #[test]

@@ -65,7 +65,11 @@ impl<T> Bounded<T> {
             return Err(item);
         }
         state.buf.push_back(item);
+        let depth = state.buf.len() as i64;
         drop(state);
+        // Process-wide pool telemetry (campaigns run one pool at a time).
+        mpdf_obs::gauge!("par.queue_depth").set(depth);
+        mpdf_obs::gauge!("par.queue_depth_max").set_max(depth);
         self.not_empty.notify_one();
         Ok(())
     }
@@ -74,19 +78,30 @@ impl<T> Bounded<T> {
     /// `None` once the queue is closed *and* drained.
     pub fn pop(&self) -> Option<T> {
         let mut state = self.lock();
+        let mut waited = false;
         loop {
             if let Some(item) = state.buf.pop_front() {
+                let depth = state.buf.len() as i64;
                 drop(state);
+                mpdf_obs::gauge!("par.queue_depth").set(depth);
                 self.not_full.notify_one();
                 return Some(item);
             }
             if state.closed {
                 return None;
             }
+            if !waited {
+                waited = true;
+                // Counted once per empty-queue stall, not per spurious
+                // wakeup: a proxy for worker idle time.
+                mpdf_obs::counter!("par.pop_waits_total").inc();
+            }
+            mpdf_obs::gauge!("par.workers_idle").add(1);
             state = self
                 .not_empty
                 .wait(state)
                 .unwrap_or_else(PoisonError::into_inner);
+            mpdf_obs::gauge!("par.workers_idle").sub(1);
         }
     }
 

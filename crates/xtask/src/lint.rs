@@ -17,6 +17,7 @@
 //! | `lossy-cast` | numeric kernels (`rfmath`, `music`, `propagation`) | no undocumented narrowing / float→int `as` casts |
 //! | `crate-root-attrs` | crate roots | must carry `#![forbid(unsafe_code)]` and `#![warn(missing_docs)]` |
 //! | `db-linear` | all first-party code | no `*`/`/` arithmetic mixing `_db`/`_dbm` identifiers with linear-power identifiers |
+//! | `no-raw-stderr` | library code | no `println!`/`eprintln!` (and `print!`/`eprint!`); diagnostics flow through `mpdf-obs` |
 //!
 //! Library code means files under a crate's `src/` tree minus binary
 //! entry points (`src/bin/`, `main.rs`) and `#[cfg(test)]` modules;
@@ -54,6 +55,10 @@ pub enum Rule {
     CrateRootAttrs,
     /// No `*`/`/` arithmetic mixing dB and linear-power identifiers.
     DbLinear,
+    /// No raw stdout/stderr printing in library code — diagnostics go
+    /// through `mpdf-obs` so binaries keep exclusive control of their
+    /// streams (the repro harness guarantees byte-stable stdout).
+    NoRawStderr,
 }
 
 impl Rule {
@@ -66,6 +71,7 @@ impl Rule {
             Rule::LossyCast,
             Rule::CrateRootAttrs,
             Rule::DbLinear,
+            Rule::NoRawStderr,
         ]
     }
 
@@ -78,6 +84,7 @@ impl Rule {
             Rule::LossyCast => "lossy-cast",
             Rule::CrateRootAttrs => "crate-root-attrs",
             Rule::DbLinear => "db-linear",
+            Rule::NoRawStderr => "no-raw-stderr",
         }
     }
 }
@@ -148,6 +155,9 @@ pub fn lint_source(rel_path: &Path, source: &str, ctx: FileContext<'_>) -> Vec<V
         let nan_hit = check_nan_ordering(rel_path, line, &window, &mut out, &allow);
         if ctx.is_library && !nan_hit {
             check_no_panic(rel_path, line, &mut out, &allow);
+        }
+        if ctx.is_library {
+            check_no_raw_stderr(rel_path, line, &mut out, &allow);
         }
         if kernel {
             check_lossy_cast(rel_path, line, &mut out, &allow);
@@ -236,6 +246,45 @@ fn check_no_panic<F: Fn(Rule) -> bool>(
                 line: line.number,
                 rule: Rule::NoPanic,
                 message: format!("`{}` in library code — {fix}", pat.trim_start_matches('.')),
+            });
+            return;
+        }
+    }
+}
+
+/// Print macros banned from library code. Ordered longest-first so the
+/// report names the macro actually written; the identifier-boundary
+/// check below keeps `println!` from also matching inside `eprintln!`.
+const PRINT_MACROS: &[&str] = &["eprintln!", "eprint!", "println!", "print!"];
+
+fn check_no_raw_stderr<F: Fn(Rule) -> bool>(
+    rel_path: &Path,
+    line: &ScannedLine,
+    out: &mut Vec<Violation>,
+    allow: &F,
+) {
+    for pat in PRINT_MACROS {
+        let code = &line.code;
+        let mut from = 0usize;
+        while let Some(rel) = code[from..].find(pat) {
+            let pos = from + rel;
+            from = pos + pat.len();
+            let prev = code[..pos].chars().next_back();
+            if prev.is_some_and(|c| c.is_alphanumeric() || c == '_') {
+                continue;
+            }
+            if allow(Rule::NoRawStderr) {
+                return;
+            }
+            out.push(Violation {
+                file: rel_path.to_path_buf(),
+                line: line.number,
+                rule: Rule::NoRawStderr,
+                message: format!(
+                    "`{pat}` in library code — binaries own the process streams; \
+                     emit an `mpdf-obs` trace event/metric or return the text to \
+                     the caller"
+                ),
             });
             return;
         }
@@ -630,6 +679,59 @@ mod tests {
         assert!(rules_of(good, root_ctx).is_empty());
         let non_root = "pub fn f() {}\n";
         assert!(rules_of(non_root, lib_ctx()).is_empty());
+    }
+
+    // ---- no-raw-stderr ----
+
+    #[test]
+    fn no_raw_stderr_flags_print_macros_in_library_code() {
+        for src in [
+            "fn f() { eprintln!(\"status\"); }\n",
+            "fn f() { eprint!(\"status\"); }\n",
+            "fn f() { println!(\"{x}\"); }\n",
+            "fn f() { print!(\"{x}\"); }\n",
+        ] {
+            assert_eq!(rules_of(src, lib_ctx()), vec![Rule::NoRawStderr], "{src}");
+        }
+    }
+
+    #[test]
+    fn no_raw_stderr_exempts_bins_tests_strings_and_lookalikes() {
+        let binary = FileContext {
+            is_library: false,
+            ..lib_ctx()
+        };
+        assert!(rules_of("fn main() { println!(\"ok\"); }\n", binary).is_empty());
+        let test_mod = "#[cfg(test)]\nmod tests {\n fn t() { eprintln!(\"dbg\"); }\n}\n";
+        assert!(rules_of(test_mod, lib_ctx()).is_empty());
+        for src in [
+            "fn f() { let s = \"println!\"; drop(s); }\n",
+            "// println! is banned here\nfn f() {}\n",
+            "fn f(w: &mut W) { writeln!(w, \"x\").ok(); }\n",
+            "my_println!(\"macro with a suffix match\");\n",
+        ] {
+            assert!(rules_of(src, lib_ctx()).is_empty(), "{src}");
+        }
+    }
+
+    #[test]
+    fn no_raw_stderr_escape_hatch_requires_reason() {
+        let with_reason =
+            "fn f() { eprintln!(\"x\"); // lint: allow(no-raw-stderr) — pre-obs bootstrap path\n}\n";
+        assert!(rules_of(with_reason, lib_ctx()).is_empty());
+        let bare = "fn f() { eprintln!(\"x\"); // lint: allow(no-raw-stderr)\n}\n";
+        assert_eq!(rules_of(bare, lib_ctx()), vec![Rule::NoRawStderr]);
+    }
+
+    #[test]
+    fn no_raw_stderr_names_the_longest_matching_macro() {
+        let v = lint_source(
+            Path::new("x.rs"),
+            "fn f() { eprintln!(\"x\"); }\n",
+            lib_ctx(),
+        );
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("`eprintln!`"), "{}", v[0].message);
     }
 
     // ---- db-linear ----

@@ -49,6 +49,10 @@ fn seeded_violations_are_each_detected() {
             "crates/par/src/lib.rs:12: [no-panic]",
             "lock unwrap in the parallel layer",
         ),
+        (
+            "src/lib.rs:22: [no-raw-stderr]",
+            "eprintln! in library code",
+        ),
     ];
     for (needle, what) in expected {
         assert!(
@@ -61,15 +65,15 @@ fn seeded_violations_are_each_detected() {
     // binary entry point and the #[cfg(test)] module must stay quiet.
     // (crate-root-attrs fires once per missing attribute.)
     assert!(
-        stdout.contains("xtask lint: 7 violation(s)"),
-        "exactly the 7 seeded violations should fire:\n{stdout}"
+        stdout.contains("xtask lint: 8 violation(s)"),
+        "exactly the 8 seeded violations should fire:\n{stdout}"
     );
     assert!(
         !stdout.contains("bin/tool.rs"),
         "binary entry points are exempt:\n{stdout}"
     );
     assert!(
-        !stdout.contains(":17:") && !stdout.contains(":18:"),
+        !stdout.contains(":17:") && !stdout.contains(":18:") && !stdout.contains(":27:"),
         "escape-hatched sites must be suppressed:\n{stdout}"
     );
 }
@@ -96,6 +100,7 @@ fn rules_subcommand_lists_every_rule() {
         "lossy-cast",
         "crate-root-attrs",
         "db-linear",
+        "no-raw-stderr",
     ] {
         assert!(stdout.contains(rule), "missing rule `{rule}`:\n{stdout}");
     }

@@ -1,7 +1,9 @@
-//! Binary entry points are exempt from `no-panic`; nothing in this file
-//! may be reported.
+//! Binary entry points are exempt from `no-panic` and `no-raw-stderr`;
+//! nothing in this file may be reported.
 
 fn main() {
     let v: Option<u32> = None;
+    println!("binaries own stdout");
+    eprintln!("and stderr");
     v.expect("binaries may panic");
 }

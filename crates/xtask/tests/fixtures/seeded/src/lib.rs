@@ -17,3 +17,12 @@ pub fn suppressed(x: Option<u32>) -> u32 {
     // lint: allow(no-panic) — fixture: annotated escape hatch must suppress
     x.unwrap()
 }
+
+pub fn prints_status() {
+    eprintln!("calibrating");
+}
+
+pub fn suppressed_print() {
+    // lint: allow(no-raw-stderr) — fixture: annotated escape hatch must suppress
+    println!("ok");
+}
