@@ -18,6 +18,10 @@ pub struct Decision {
     pub threshold: f64,
     /// `score > threshold`.
     pub detected: bool,
+    /// The window was scored under graceful degradation (packets lost,
+    /// rejected, antenna-reduced or clipped) — trust accordingly.
+    #[serde(default)]
+    pub degraded: bool,
 }
 
 /// A calibrated device-free human detector.
@@ -116,7 +120,9 @@ impl<S: DetectionScheme> Detector<S> {
     /// # Errors
     /// Propagates scheme errors.
     pub fn decide(&self, window: &[CsiPacket]) -> Result<Decision, DetectError> {
-        let score = self.score(window)?;
+        let (score, health) = self
+            .scheme
+            .score_with_health(&self.profile, window, &self.config)?;
         let detected = score > self.threshold;
         mpdf_obs::counter!("core.decisions_total").inc();
         if detected {
@@ -126,6 +132,7 @@ impl<S: DetectionScheme> Detector<S> {
             score,
             threshold: self.threshold,
             detected,
+            degraded: health.degraded,
         })
     }
 

@@ -25,6 +25,14 @@ pub enum DetectError {
         /// Minimum required.
         need: usize,
     },
+    /// Fault-degraded window lost more packets than the configured
+    /// gap budget allows; the window must be aborted, not scored.
+    DegradedBeyondBudget {
+        /// Packets lost or rejected within the window.
+        lost: usize,
+        /// The configured tolerance ([`crate::profile::DetectorConfig::gap_budget`]).
+        budget: usize,
+    },
     /// Angle estimation failed.
     Music(MusicError),
     /// Ray tracing over the link geometry failed.
@@ -42,6 +50,10 @@ impl fmt::Display for DetectError {
             DetectError::InsufficientCalibration { got, need } => {
                 write!(f, "calibration needs at least {need} packets, got {got}")
             }
+            DetectError::DegradedBeyondBudget { lost, budget } => write!(
+                f,
+                "window degraded beyond budget: {lost} packets lost, budget {budget}"
+            ),
             DetectError::Music(e) => write!(f, "angle estimation failed: {e}"),
             DetectError::Trace(e) => write!(f, "link geometry is untraceable: {e}"),
         }
@@ -89,6 +101,9 @@ mod tests {
         let e = DetectError::InsufficientCalibration { got: 3, need: 50 };
         assert!(e.to_string().contains("at least 50"));
         assert!(e.to_string().contains("got 3"));
+        let e = DetectError::DegradedBeyondBudget { lost: 7, budget: 5 };
+        assert!(e.to_string().contains("7 packets lost"));
+        assert!(e.to_string().contains("budget 5"));
     }
 
     #[test]
@@ -143,6 +158,9 @@ mod tests {
         .source()
         .is_none());
         assert!(DetectError::InsufficientCalibration { got: 0, need: 1 }
+            .source()
+            .is_none());
+        assert!(DetectError::DegradedBeyondBudget { lost: 3, budget: 2 }
             .source()
             .is_none());
     }

@@ -11,6 +11,8 @@
 //!   pseudospectrum (Eq. 17).
 //! - [`profile`], [`scheme`], [`threshold`], [`detector`] — the
 //!   calibrate/monitor pipeline with the three evaluated schemes.
+//! - [`degrade`] — graceful degradation of fault-impaired windows
+//!   (quarantine, gap budgets, reduced-aperture fallback).
 //! - [`fade_level`], [`variance`] — related-work comparator and the
 //!   mobile-target variance feature.
 //! - [`hmm`] — the paper's §V-B1 future-work extension: hidden-Markov
@@ -30,6 +32,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod degrade;
 pub mod detector;
 pub mod error;
 pub mod fade_level;
@@ -43,6 +46,7 @@ pub mod subcarrier_weight;
 pub mod threshold;
 pub mod variance;
 
+pub use degrade::{assess_window, WindowHealth};
 pub use detector::{Decision, Detector};
 pub use error::DetectError;
 pub use hmm::HmmSmoother;

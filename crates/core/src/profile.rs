@@ -18,6 +18,7 @@ use mpdf_music::music::{pseudospectrum, AngleGrid, Pseudospectrum, UlaSteering};
 use mpdf_rfmath::matrix::CMatrix;
 use mpdf_wifi::band::Band;
 use mpdf_wifi::csi::CsiPacket;
+use mpdf_wifi::quarantine::{classify, PacketClass, QuarantinePolicy};
 use mpdf_wifi::sanitize::sanitize_packet;
 
 use crate::error::DetectError;
@@ -38,6 +39,12 @@ pub struct DetectorConfig {
     pub theta_gate_deg: (f64, f64),
     /// Monitoring window length in packets (25 ≈ 0.5 s at 50 pkt/s).
     pub window: usize,
+    /// Maximum packets a monitoring window may lose (sequence gaps plus
+    /// quarantine rejects) before scoring aborts with
+    /// [`DetectError::DegradedBeyondBudget`].
+    pub gap_budget: usize,
+    /// Per-packet validation policy applied before scoring.
+    pub quarantine: QuarantinePolicy,
 }
 
 impl Default for DetectorConfig {
@@ -52,6 +59,8 @@ impl Default for DetectorConfig {
                 PathWeights::DEFAULT_THETA_MAX_DEG,
             ),
             window: 25,
+            gap_budget: 5,
+            quarantine: QuarantinePolicy::default(),
         }
     }
 }
@@ -101,12 +110,29 @@ impl CalibrationProfile {
                 });
             }
         }
+        // Calibration must be built from pristine packets only: a NaN row
+        // or rail-stuck chain in the baseline would poison every later
+        // comparison, so Degraded packets are dropped here, not repaired.
+        let kept: Vec<&CsiPacket> = packets
+            .iter()
+            .filter(|p| {
+                let ok = matches!(classify(p, &config.quarantine), PacketClass::Ok);
+                if !ok {
+                    mpdf_obs::counter!("core.calibration_quarantined_total").inc();
+                }
+                ok
+            })
+            .collect();
+        if kept.is_empty() {
+            return Err(DetectError::EmptyWindow);
+        }
+
         // Sanitize copies.
         let indices = config.band.indices();
-        let sanitized: Vec<CsiPacket> = packets
+        let sanitized: Vec<CsiPacket> = kept
             .iter()
             .map(|p| {
-                let mut q = p.clone();
+                let mut q = (*p).clone();
                 sanitize_packet(&mut q, indices);
                 q
             })

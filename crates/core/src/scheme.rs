@@ -15,6 +15,7 @@ use mpdf_music::music::bartlett_spectrum;
 use mpdf_wifi::csi::CsiPacket;
 use mpdf_wifi::sanitize::sanitize_packet;
 
+use crate::degrade::{assess_window, WindowHealth};
 use crate::error::DetectError;
 use crate::profile::{pool_covariances, CalibrationProfile, DetectorConfig};
 use crate::subcarrier_weight::SubcarrierWeights;
@@ -27,44 +28,83 @@ pub trait DetectionScheme {
     /// Short scheme label used in reports.
     fn name(&self) -> &'static str;
 
-    /// Scores a monitoring window against the profile. Higher = more
-    /// evidence of human presence.
+    /// Scores a monitoring window against the profile and reports the
+    /// window's fault-health. Higher score = more evidence of human
+    /// presence.
     ///
     /// # Errors
-    /// [`DetectError`] on empty windows, shape mismatches, or angle-
-    /// estimation failures.
+    /// [`DetectError`] on empty windows, shape mismatches, angle-
+    /// estimation failures, or windows degraded beyond the gap budget.
+    fn score_with_health(
+        &self,
+        profile: &CalibrationProfile,
+        window: &[CsiPacket],
+        config: &DetectorConfig,
+    ) -> Result<(f64, WindowHealth), DetectError>;
+
+    /// Scores a monitoring window, discarding the health report.
+    ///
+    /// # Errors
+    /// Same as [`DetectionScheme::score_with_health`].
     fn score(
         &self,
         profile: &CalibrationProfile,
         window: &[CsiPacket],
         config: &DetectorConfig,
-    ) -> Result<f64, DetectError>;
+    ) -> Result<f64, DetectError> {
+        self.score_with_health(profile, window, config)
+            .map(|(s, _)| s)
+    }
 }
 
-/// Validates a window and returns sanitized copies.
+/// Quarantines and validates a window (see [`assess_window`]), then
+/// returns sanitized copies of the survivors plus the health report.
 fn sanitized_window(
     profile: &CalibrationProfile,
     window: &[CsiPacket],
     config: &DetectorConfig,
-) -> Result<Vec<CsiPacket>, DetectError> {
-    if window.is_empty() {
-        return Err(DetectError::EmptyWindow);
-    }
-    let expected = (profile.antennas(), profile.subcarriers());
-    for p in window {
-        let found = (p.antennas(), p.subcarriers());
-        if found != expected {
-            return Err(DetectError::ShapeMismatch { expected, found });
-        }
-    }
-    Ok(window
-        .iter()
-        .map(|p| {
-            let mut q = p.clone();
-            sanitize_packet(&mut q, config.band.indices());
+) -> Result<(Vec<CsiPacket>, WindowHealth), DetectError> {
+    let (kept, health) = assess_window(profile, window, config)?;
+    let indices = config.band.indices();
+    let sanitized = kept
+        .into_iter()
+        .map(|mut q| {
+            sanitize_packet(&mut q, indices);
             q
         })
-        .collect())
+        .collect();
+    Ok((sanitized, health))
+}
+
+/// Zeroes the weights of clipped subcarriers and rescales the survivors
+/// so the total weight mass is preserved (a rail-stuck tone reports a
+/// meaningless amplitude change, not a small one).
+fn renormalize_clipped(weights: &[f64], clipped: &[bool]) -> Vec<f64> {
+    let mut w: Vec<f64> = weights
+        .iter()
+        .zip(clipped)
+        .map(|(&wk, &c)| if c { 0.0 } else { wk })
+        .collect();
+    let surviving: f64 = w.iter().sum();
+    let original: f64 = weights.iter().sum();
+    if surviving > f64::MIN_POSITIVE {
+        let scale = original / surviving;
+        for wk in &mut w {
+            *wk *= scale;
+        }
+    }
+    w
+}
+
+/// Effective subcarrier weights: untouched on a clean window, clip-
+/// renormalized on a degraded one (the zero-fault byte-identity hinges
+/// on the clean branch returning the input weights verbatim).
+fn effective_weights(weights: &SubcarrierWeights, health: &WindowHealth) -> Vec<f64> {
+    if health.clipped_subcarriers.iter().any(|&c| c) {
+        renormalize_clipped(&weights.weights, &health.clipped_subcarriers)
+    } else {
+        weights.weights.clone()
+    }
 }
 
 fn euclidean(a: &[f64], b: &[f64]) -> f64 {
@@ -85,21 +125,22 @@ impl DetectionScheme for Baseline {
         "baseline"
     }
 
-    fn score(
+    fn score_with_health(
         &self,
         profile: &CalibrationProfile,
         window: &[CsiPacket],
         config: &DetectorConfig,
-    ) -> Result<f64, DetectError> {
+    ) -> Result<(f64, WindowHealth), DetectError> {
         let _stage = mpdf_obs::stage!("core.score.baseline");
-        let window = sanitized_window(profile, window, config)?;
+        let (window, health) = sanitized_window(profile, window, config)?;
         let n = window.len() as f64;
         let mut total = 0.0;
-        for a in 0..profile.antennas() {
+        // Row `r` of a (possibly reduced) packet is physical chain `a`.
+        for (r, &a) in health.usable_antennas.iter().enumerate() {
             let mut mean_amp = vec![0.0; profile.subcarriers()];
             for p in &window {
                 for (k, slot) in mean_amp.iter_mut().enumerate() {
-                    *slot += p.get(a, k).norm();
+                    *slot += p.get(r, k).norm();
                 }
             }
             for v in &mut mean_amp {
@@ -107,7 +148,7 @@ impl DetectionScheme for Baseline {
             }
             total += euclidean(&mean_amp, &profile.static_amplitude()[a]);
         }
-        Ok(total / profile.antennas() as f64)
+        Ok((total / health.usable_antennas.len() as f64, health))
     }
 }
 
@@ -126,27 +167,28 @@ impl DetectionScheme for RssiBaseline {
         "rssi-baseline"
     }
 
-    fn score(
+    fn score_with_health(
         &self,
         profile: &CalibrationProfile,
         window: &[CsiPacket],
         config: &DetectorConfig,
-    ) -> Result<f64, DetectError> {
+    ) -> Result<(f64, WindowHealth), DetectError> {
         let _stage = mpdf_obs::stage!("core.score.rssi");
-        let window = sanitized_window(profile, window, config)?;
+        let (window, health) = sanitized_window(profile, window, config)?;
         let monitored: f64 = window
             .iter()
             .map(mpdf_wifi::CsiPacket::total_power)
             .sum::<f64>()
             / window.len() as f64;
         // Static wideband power from the stored per-subcarrier profile
-        // (antenna-mean), scaled back to a packet total.
+        // (antenna-mean), scaled back to a packet total over the chains
+        // that actually survived.
         let static_total: f64 =
-            profile.static_power().iter().sum::<f64>() * profile.antennas() as f64;
+            profile.static_power().iter().sum::<f64>() * health.usable_antennas.len() as f64;
         if static_total <= f64::MIN_POSITIVE || monitored <= f64::MIN_POSITIVE {
-            return Ok(0.0);
+            return Ok((0.0, health));
         }
-        Ok((10.0 * (monitored / static_total).log10()).abs())
+        Ok(((10.0 * (monitored / static_total).log10()).abs(), health))
     }
 }
 
@@ -159,14 +201,14 @@ impl DetectionScheme for SubcarrierWeighting {
         "subcarrier-weighting"
     }
 
-    fn score(
+    fn score_with_health(
         &self,
         profile: &CalibrationProfile,
         window: &[CsiPacket],
         config: &DetectorConfig,
-    ) -> Result<f64, DetectError> {
+    ) -> Result<(f64, WindowHealth), DetectError> {
         let _stage = mpdf_obs::stage!("core.score.subcarrier");
-        let window = sanitized_window(profile, window, config)?;
+        let (window, health) = sanitized_window(profile, window, config)?;
         let freqs = config.band.frequencies();
         let weights = SubcarrierWeights::from_packets(&window, &freqs);
         // Δs(f_k): per-subcarrier RSS change in dB (the paper measures
@@ -186,8 +228,9 @@ impl DetectionScheme for SubcarrierWeighting {
                 }
             })
             .collect();
-        let weighted = weights.apply(&delta);
-        Ok(weighted.iter().map(|d| d * d).sum::<f64>().sqrt())
+        let eff = effective_weights(&weights, &health);
+        let weighted: Vec<f64> = delta.iter().zip(&eff).map(|(d, w)| w * d).collect();
+        Ok((weighted.iter().map(|d| d * d).sum::<f64>().sqrt(), health))
     }
 }
 
@@ -201,7 +244,7 @@ impl SubcarrierAndPathWeighting {
     /// window.
     fn weighted_covariance(
         window: &[CsiPacket],
-        weights: &SubcarrierWeights,
+        weights: &[f64],
     ) -> Result<mpdf_rfmath::matrix::CMatrix, DetectError> {
         let subcarriers = window[0].subcarriers();
         let mut covs = Vec::with_capacity(subcarriers);
@@ -210,7 +253,7 @@ impl SubcarrierAndPathWeighting {
             let r = sample_covariance(&snaps).map_err(mpdf_music::music::MusicError::from)?;
             covs.push(forward_backward(&r));
         }
-        Ok(pool_covariances(&covs, Some(&weights.weights)))
+        Ok(pool_covariances(&covs, Some(weights)))
     }
 }
 
@@ -219,16 +262,46 @@ impl DetectionScheme for SubcarrierAndPathWeighting {
         "subcarrier+path-weighting"
     }
 
-    fn score(
+    fn score_with_health(
         &self,
         profile: &CalibrationProfile,
         window: &[CsiPacket],
         config: &DetectorConfig,
-    ) -> Result<f64, DetectError> {
+    ) -> Result<(f64, WindowHealth), DetectError> {
         let _stage = mpdf_obs::stage!("core.score.combined");
-        let window = sanitized_window(profile, window, config)?;
+        let (window, health) = sanitized_window(profile, window, config)?;
+        // Angle estimation needs an aperture: with fewer than two
+        // surviving chains there is no spatial spectrum to compare, so
+        // the window counts as degraded beyond what this scheme absorbs.
+        if health.usable_antennas.len() < 2 {
+            return Err(DetectError::DegradedBeyondBudget {
+                lost: health.lost().max(1),
+                budget: config.gap_budget,
+            });
+        }
         let freqs = config.band.frequencies();
         let weights = SubcarrierWeights::from_packets(&window, &freqs);
+        let eff = effective_weights(&weights, &health);
+
+        // MUSIC 3→2 fallback: when a chain dropped for the whole window,
+        // both sides of the comparison shrink to the surviving sub-array
+        // — the monitored covariance is already reduced, the static side
+        // takes the matching principal submatrix, and the steering model
+        // collapses to the surviving (still uniform) sub-ULA. The health
+        // report carries `widened_uncertainty` for downstream consumers.
+        let (steering, static_cov) = if health.widened_uncertainty {
+            (
+                config.steering.subset(&health.usable_antennas),
+                profile
+                    .weighted_static_covariance(Some(&eff))
+                    .principal_submatrix(&health.usable_antennas),
+            )
+        } else {
+            (
+                config.steering,
+                profile.weighted_static_covariance(Some(&eff)),
+            )
+        };
 
         // Monitored side: subcarrier-weighted covariance → angular
         // *power* spectrum (Bartlett). The MUSIC pseudospectrum is
@@ -236,13 +309,12 @@ impl DetectionScheme for SubcarrierAndPathWeighting {
         // weights at calibration), but the detection distance needs the
         // power-bearing angular profile of the paper's "subcarrier
         // weighted signal strengths".
-        let monitored_cov = Self::weighted_covariance(&window, &weights)?;
-        let monitored_spectrum = bartlett_spectrum(&monitored_cov, &config.steering, &config.grid)?;
+        let monitored_cov = Self::weighted_covariance(&window, &eff)?;
+        let monitored_spectrum = bartlett_spectrum(&monitored_cov, &steering, &config.grid)?;
 
         // Calibration side: the same subcarrier weights applied to the
         // stored static covariances (the §IV-C linearity argument).
-        let static_cov = profile.weighted_static_covariance(Some(&weights.weights));
-        let static_spectrum = bartlett_spectrum(&static_cov, &config.steering, &config.grid)?;
+        let static_spectrum = bartlett_spectrum(&static_cov, &steering, &config.grid)?;
 
         // Per-angle RSS change in dB inside the ±60° gate. The gate-mean
         // is removed first: a flat dB offset is session gain drift (TX
@@ -269,7 +341,7 @@ impl DetectionScheme for SubcarrierAndPathWeighting {
             .map(|(d, w)| (*d, *w))
             .collect();
         if gated.is_empty() {
-            return Ok(0.0);
+            return Ok((0.0, health));
         }
         let mean = gated.iter().map(|(d, _)| d).sum::<f64>() / gated.len() as f64;
         let sum_sq: f64 = gated
@@ -279,7 +351,7 @@ impl DetectionScheme for SubcarrierAndPathWeighting {
                 v * v
             })
             .sum();
-        Ok((sum_sq / gated.len() as f64).sqrt())
+        Ok(((sum_sq / gated.len() as f64).sqrt(), health))
     }
 }
 
@@ -417,5 +489,102 @@ mod tests {
             let b = scheme.score(&profile, &window, &cfg).unwrap();
             assert_eq!(a, b, "{}", scheme.name());
         }
+    }
+
+    /// Rebuilds `p` with antenna `dead`'s row overwritten by NaN.
+    fn with_dead_row(p: &CsiPacket, dead: usize) -> CsiPacket {
+        let mut data = Vec::with_capacity(p.antennas() * p.subcarriers());
+        for a in 0..p.antennas() {
+            for k in 0..p.subcarriers() {
+                data.push(if a == dead {
+                    Complex64::new(f64::NAN, 0.0)
+                } else {
+                    p.get(a, k)
+                });
+            }
+        }
+        CsiPacket::new(p.antennas(), p.subcarriers(), data, p.seq, p.timestamp)
+    }
+
+    #[test]
+    fn all_schemes_survive_a_dead_antenna_row() {
+        let (profile, cfg) = profile_and_config();
+        let mut window = scene_packets(10, 0.0, 0.0);
+        window[2] = with_dead_row(&window[2], 1);
+        for scheme in [
+            &Baseline as &dyn DetectionScheme,
+            &RssiBaseline,
+            &SubcarrierWeighting,
+            &SubcarrierAndPathWeighting,
+        ] {
+            let (s, health) = scheme.score_with_health(&profile, &window, &cfg).unwrap();
+            assert!(s.is_finite(), "{} scored {s}", scheme.name());
+            assert!(health.degraded, "{}", scheme.name());
+            assert!(health.widened_uncertainty, "{}", scheme.name());
+            assert_eq!(health.usable_antennas, vec![0, 2], "{}", scheme.name());
+        }
+    }
+
+    #[test]
+    fn two_antenna_fallback_still_separates_calm_from_busy() {
+        let (profile, cfg) = profile_and_config();
+        let mut calm = scene_packets(10, 0.0, 0.0);
+        calm[0] = with_dead_row(&calm[0], 1);
+        let mut busy = scene_packets(10, 0.4, -20.0);
+        busy[0] = with_dead_row(&busy[0], 1);
+        let (s0, h0) = SubcarrierAndPathWeighting
+            .score_with_health(&profile, &calm, &cfg)
+            .unwrap();
+        let (s1, h1) = SubcarrierAndPathWeighting
+            .score_with_health(&profile, &busy, &cfg)
+            .unwrap();
+        assert!(h0.widened_uncertainty && h1.widened_uncertainty);
+        assert!(s1 > s0, "calm {s0} busy {s1} on the reduced aperture");
+    }
+
+    #[test]
+    fn combined_scheme_needs_two_antennas() {
+        let (profile, cfg) = profile_and_config();
+        let mut window = scene_packets(10, 0.0, 0.0);
+        window[1] = with_dead_row(&window[1], 1);
+        window[4] = with_dead_row(&window[4], 2);
+        // Only chain 0 survives every packet: the amplitude schemes still
+        // score, the angular scheme aborts with the typed error.
+        let (s, health) = Baseline.score_with_health(&profile, &window, &cfg).unwrap();
+        assert!(s.is_finite());
+        assert_eq!(health.usable_antennas, vec![0]);
+        let err = SubcarrierAndPathWeighting
+            .score_with_health(&profile, &window, &cfg)
+            .unwrap_err();
+        assert!(matches!(err, DetectError::DegradedBeyondBudget { .. }));
+    }
+
+    #[test]
+    fn gap_budget_propagates_through_schemes() {
+        let (profile, cfg) = profile_and_config();
+        // Keep every third packet of a 30-slot stretch: 20 gaps > budget.
+        let sparse: Vec<CsiPacket> = scene_packets(30, 0.0, 0.0).into_iter().step_by(3).collect();
+        let err = SubcarrierWeighting
+            .score(&profile, &sparse, &cfg)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            DetectError::DegradedBeyondBudget {
+                lost: 18,
+                budget: cfg.gap_budget
+            }
+        );
+    }
+
+    #[test]
+    fn clipped_subcarriers_renormalize_weight_mass() {
+        let w = [0.1, 0.2, 0.3, 0.4];
+        let clipped = [false, true, false, false];
+        let r = renormalize_clipped(&w, &clipped);
+        assert_eq!(r[1], 0.0);
+        let total: f64 = r.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12, "mass preserved, got {total}");
+        // Survivors keep their relative proportions.
+        assert!((r[3] / r[0] - 4.0).abs() < 1e-12);
     }
 }

@@ -52,10 +52,12 @@ pub fn threshold_for_fp(scores: &[f64], target_fp: f64) -> f64 {
         "target FP must be in (0, 1)"
     );
     let ecdf = Ecdf::new(scores);
-    // Smallest score with F(x) ≥ 1 − fp; nudge up so scores equal to the
-    // quantile don't fire.
+    // Smallest score with F(x) ≥ 1 − fp; nudge up by one ULP so scores
+    // equal to the quantile don't fire. A relative nudge `q·(1+ε)` would
+    // move a *negative* quantile down instead, letting tied null scores
+    // fire and the realized FP exceed the target.
     let q = ecdf.quantile(1.0 - target_fp);
-    q * (1.0 + 1e-9) + f64::MIN_POSITIVE
+    q.next_up()
 }
 
 #[cfg(test)]
@@ -117,6 +119,23 @@ mod tests {
     }
 
     #[test]
+    fn negative_null_scores_respect_fp_target() {
+        // Regression: with an all-negative null (e.g. log-scale scores) the
+        // old relative nudge moved the quantile DOWN, so ties at the
+        // quantile fired and the realized FP overshot the target.
+        let scores: Vec<f64> = (1..=100).map(|i| -(i as f64)).collect();
+        let thr = threshold_for_fp(&scores, 0.05);
+        let fired = scores.iter().filter(|&&s| s > thr).count();
+        assert!(fired <= 5, "realized FP {fired}/100 exceeds 5% target");
+
+        // Ties exactly at a negative quantile must not fire.
+        let tied = vec![-3.0; 40];
+        let thr = threshold_for_fp(&tied, 0.1);
+        assert!(thr > -3.0);
+        assert_eq!(tied.iter().filter(|&&s| s > thr).count(), 0);
+    }
+
+    #[test]
     fn zero_variance_null_still_works() {
         let scores = vec![2.0; 50];
         let thr = threshold_for_fp(&scores, 0.1);
@@ -128,5 +147,46 @@ mod tests {
     #[should_panic(expected = "target FP")]
     fn silly_fp_panics() {
         threshold_for_fp(&[1.0], 1.5);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The defining contract: on the very scores used to pick it, the
+        /// threshold realizes an empirical FP rate ≤ the target — over
+        /// arbitrary distributions including negative, tied and constant
+        /// scores.
+        #[test]
+        fn empirical_fp_never_exceeds_target(
+            scores in proptest::collection::vec(-1e6f64..1e6, 1..200),
+            target_fp in 0.01f64..0.99,
+        ) {
+            let thr = threshold_for_fp(&scores, target_fp);
+            let fired = scores.iter().filter(|&&s| s > thr).count();
+            let allowed = (target_fp * scores.len() as f64).floor() as usize;
+            prop_assert!(
+                fired <= allowed,
+                "{fired}/{} fired, target {target_fp} allows {allowed} (thr {thr})",
+                scores.len()
+            );
+        }
+
+        /// Constant nulls (zero variance) in particular must never fire,
+        /// whatever their sign or magnitude.
+        #[test]
+        fn constant_null_never_fires(
+            value in -1e9f64..1e9,
+            n in 1usize..100,
+            target_fp in 0.01f64..0.99,
+        ) {
+            let scores = vec![value; n];
+            let thr = threshold_for_fp(&scores, target_fp);
+            prop_assert!(thr > value, "threshold {thr} not above constant null {value}");
+            prop_assert_eq!(scores.iter().filter(|&&s| s > thr).count(), 0);
+        }
     }
 }

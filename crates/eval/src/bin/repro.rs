@@ -10,7 +10,7 @@ use mpdf_eval::experiments as exp;
 use mpdf_eval::workload::CampaignConfig;
 
 /// Known experiment names, in `all` execution order.
-const ALL_EXPERIMENTS: [&str; 16] = [
+const ALL_EXPERIMENTS: [&str; 17] = [
     "fig2a",
     "fig2b",
     "fig3",
@@ -27,6 +27,7 @@ const ALL_EXPERIMENTS: [&str; 16] = [
     "ext-array",
     "ext-ablate",
     "ext-sweep",
+    "ext-chaos",
 ];
 
 /// Help text; printed on `--help` and after usage errors.
@@ -35,7 +36,7 @@ usage: repro [options] <experiment>...
 
 experiments:
   fig2a fig2b fig3 fig4 fig5b fig5c fig7 fig8 fig9 fig10 fig11 fig12
-  ext-hmm ext-array ext-ablate ext-sweep all
+  ext-hmm ext-array ext-ablate ext-sweep ext-chaos all
   (default: fig7)
 
 options:
@@ -49,6 +50,8 @@ options:
   --gaindrift <db>   peak session gain drift in dB
   --intf <p>         narrowband interference probability in [0, 1]
   --intfpow <db>     interference power relative to the signal
+  --faults <preset>  inject receiver faults into every capture; presets:
+                     none loss dropout agc glitch chaos
   --locations <n>    sample locations for fig2a/fig3
   --packets <n>      packets for fig2b
   --threads <n>      worker threads (0 = all cores); output is identical
@@ -126,6 +129,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "gaindrift" => cfg.session_gain_drift_db = parse_float(flag, value)?,
             "intf" => cfg.interference_prob = parse_float(flag, value)?,
             "intfpow" => cfg.interference_power_db = parse_float(flag, value)?,
+            "faults" => {
+                cfg.faults = mpdf_wifi::FaultModel::preset(value).ok_or_else(|| {
+                    format!(
+                        "bad value `{value}` for --faults: known presets {:?}",
+                        mpdf_wifi::fault::PRESET_NAMES
+                    )
+                })?;
+            }
             "locations" => locations = parse_num(flag, value, "a non-negative integer")?,
             "packets" => packets = parse_num(flag, value, "a non-negative integer")?,
             "threads" => cfg.threads = parse_num(flag, value, "a non-negative integer")?,
@@ -181,6 +192,7 @@ fn run_experiment(name: &str, opts: &Options) -> Result<ExperimentOutput, String
         "ext-array" => "repro.start.ext-array",
         "ext-ablate" => "repro.start.ext-ablate",
         "ext-sweep" => "repro.start.ext-sweep",
+        "ext-chaos" => "repro.start.ext-chaos",
         _ => "repro.start.unknown",
     });
     let started = std::time::Instant::now();
@@ -345,6 +357,32 @@ fn run_experiment(name: &str, opts: &Options) -> Result<ExperimentOutput, String
         "ext-array" => exp::ext_array::report(&exp::ext_array::run(&opts.cfg).map_err(err)?),
         "ext-sweep" => exp::ext_sweep::report(&exp::ext_sweep::run(&opts.cfg).map_err(err)?),
         "ext-ablate" => exp::ext_ablate::report(&exp::ext_ablate::run(&opts.cfg).map_err(err)?),
+        "ext-chaos" => {
+            let r = exp::ext_chaos::run(&opts.cfg).map_err(err)?;
+            let mut rows = vec![vec![
+                "intensity".into(),
+                "detection_rate".into(),
+                "fp_rate".into(),
+                "degraded_windows".into(),
+                "aborted_windows".into(),
+                "scored_windows".into(),
+            ]];
+            for row in &r.rows {
+                rows.push(vec![
+                    row.intensity.to_string(),
+                    row.detection_rate.to_string(),
+                    row.fp_rate.to_string(),
+                    row.degraded_windows.to_string(),
+                    row.aborted_windows.to_string(),
+                    row.scored_windows.to_string(),
+                ]);
+            }
+            csvs.push((
+                "ext_chaos_degradation".into(),
+                mpdf_eval::report::csv(&rows),
+            ));
+            exp::ext_chaos::report(&r)
+        }
         other => return Err(format!("unknown experiment `{other}`")),
     };
     Ok(ExperimentOutput {

@@ -17,7 +17,7 @@ use mpdf_propagation::tracer::TraceError;
 use mpdf_propagation::trajectory::StaticSway;
 use mpdf_wifi::csi::CsiPacket;
 use mpdf_wifi::receiver::{Actor, CsiReceiver, ReceiverConfig};
-use mpdf_wifi::ImpairmentModel;
+use mpdf_wifi::{FaultModel, ImpairmentModel};
 
 use crate::metrics::LabeledScore;
 use crate::scenario::LinkCase;
@@ -84,6 +84,11 @@ pub struct CampaignConfig {
     /// Peak session gain drift in dB (see
     /// `ReceiverConfig::session_gain_drift_db`).
     pub session_gain_drift_db: f64,
+    /// Injected receiver faults (loss bursts, chain dropouts, AGC
+    /// saturation, decoder glitches). [`FaultModel::none`] by default;
+    /// a zero-fault model leaves every capture byte-identical to a
+    /// fault-free build.
+    pub faults: FaultModel,
     /// Base RNG seed.
     pub seed: u64,
     /// Worker threads for the campaign (`0` = all available cores).
@@ -108,6 +113,7 @@ impl Default for CampaignConfig {
             background_distance: 3.0,
             clutter_drift_rel: 0.025,
             session_gain_drift_db: 0.3,
+            faults: FaultModel::none(),
             seed: 0xC51,
             threads: 0,
         }
@@ -142,6 +148,7 @@ pub fn case_receiver(
         impairments,
         clutter_drift_rel: cfg.clutter_drift_rel,
         session_gain_drift_db: cfg.session_gain_drift_db,
+        faults: cfg.faults,
         ..ReceiverConfig::default()
     };
     CsiReceiver::with_config(channel, rx_cfg, seed)
@@ -356,8 +363,18 @@ impl ScoredWindow {
 
 /// Scores every window of a campaign with one scheme.
 ///
+/// Windows that the graceful-degradation path aborts with
+/// [`DegradedBeyondBudget`](mpdf_core::error::DetectError::DegradedBeyondBudget)
+/// — or that the faulty receiver lost outright
+/// ([`EmptyWindow`](mpdf_core::error::DetectError::EmptyWindow)) — are
+/// skipped: a detector facing a fault burst abstains on that window
+/// rather than failing the whole campaign. Abstentions are counted on
+/// `eval.aborted_windows_total`. Fault-free campaigns never abort, so
+/// this keeps the zero-fault output byte-identical.
+///
 /// # Errors
-/// Propagates scheme errors.
+/// Propagates scheme errors other than gap-budget aborts and lost
+/// windows.
 pub fn score_campaign<S: DetectionScheme>(
     data: &[CaseData],
     scheme: &S,
@@ -367,7 +384,17 @@ pub fn score_campaign<S: DetectionScheme>(
     let mut out = Vec::new();
     for case in data {
         for w in &case.windows {
-            let score = scheme.score(&case.profile, &w.packets, detector)?;
+            let score = match scheme.score(&case.profile, &w.packets, detector) {
+                Ok(score) => score,
+                Err(
+                    mpdf_core::error::DetectError::DegradedBeyondBudget { .. }
+                    | mpdf_core::error::DetectError::EmptyWindow,
+                ) => {
+                    mpdf_obs::counter!("eval.aborted_windows_total").inc();
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
             mpdf_obs::counter!("eval.scored_windows_total").inc();
             out.push(ScoredWindow {
                 case_id: case.case_id,

@@ -1,0 +1,128 @@
+//! Fault injection must be pay-for-use: a zero-fault `FaultModel` leaves
+//! the whole pipeline byte-identical to a fault-free build at any thread
+//! count, while an actually-faulted campaign completes through the
+//! graceful-degradation path and fills the quarantine/degradation
+//! counters.
+
+use mpdf_core::error::DetectError;
+use mpdf_core::profile::DetectorConfig;
+use mpdf_core::scheme::{DetectionScheme, SubcarrierWeighting};
+use mpdf_eval::scenario::five_cases;
+use mpdf_eval::workload::{run_campaign, score_campaign, CampaignConfig};
+use mpdf_wifi::FaultModel;
+
+fn tiny_config(threads: usize, faults: FaultModel) -> CampaignConfig {
+    CampaignConfig {
+        calibration_packets: 120,
+        episodes_per_position: 1,
+        negative_windows: 4,
+        detector: DetectorConfig {
+            window: 10,
+            ..DetectorConfig::default()
+        },
+        threads,
+        faults,
+        ..CampaignConfig::default()
+    }
+}
+
+#[test]
+fn zero_fault_model_is_byte_identical_to_fault_free_pipeline() {
+    let cases = &five_cases()[..2];
+
+    // Reference: the default config (fault machinery disabled), serial.
+    let plain_cfg = tiny_config(1, FaultModel::none());
+    let plain = run_campaign(cases, &plain_cfg).expect("plain campaign");
+    let plain_scores =
+        score_campaign(&plain, &SubcarrierWeighting, &plain_cfg.detector).expect("score");
+
+    // A chaos model scaled to zero intensity is still "no faults": the
+    // fault pass must consume no randomness and change no bytes — on
+    // four worker threads, for good measure.
+    let zero_cfg = tiny_config(4, FaultModel::chaos().scaled(0.0));
+    let zero = run_campaign(cases, &zero_cfg).expect("zero-fault campaign");
+    let zero_scores =
+        score_campaign(&zero, &SubcarrierWeighting, &zero_cfg.detector).expect("score");
+
+    assert_eq!(plain_scores, zero_scores);
+    for (p, z) in plain.iter().zip(&zero) {
+        assert_eq!(p.case_id, z.case_id);
+        assert_eq!(p.windows.len(), z.windows.len());
+        for (pw, zw) in p.windows.iter().zip(&z.windows) {
+            assert_eq!(pw.packets, zw.packets);
+            assert_eq!(pw.human, zw.human);
+        }
+    }
+}
+
+#[test]
+fn faulted_campaign_completes_and_degrades_gracefully() {
+    let cases = &five_cases()[..2];
+
+    // Packet loss plus a lossy antenna chain: the ISSUE's reference
+    // fault mix, at rates high enough that a tiny campaign still sees
+    // every fault class.
+    let mut faults = FaultModel::packet_loss();
+    faults.loss_burst_prob = 0.05;
+    faults.loss_burst_len = 3.0;
+    faults.chain_dropout_prob = 0.03;
+    faults.chain_dropout_len = 8.0;
+    faults.dropout_nan = true;
+    let cfg = tiny_config(2, faults);
+
+    let data = run_campaign(cases, &cfg).expect("faulted campaign must not panic");
+
+    // Score every window through the degradation path; gap-budget aborts
+    // are expected and typed, anything else is a real failure.
+    let mut scored = 0usize;
+    let mut degraded = 0usize;
+    let mut aborted = 0usize;
+    for case in &data {
+        for w in &case.windows {
+            match SubcarrierWeighting.score_with_health(&case.profile, &w.packets, &cfg.detector) {
+                Ok((score, health)) => {
+                    assert!(score.is_finite(), "degraded scoring produced {score}");
+                    scored += 1;
+                    if health.degraded {
+                        degraded += 1;
+                    }
+                }
+                Err(DetectError::DegradedBeyondBudget { lost, budget }) => {
+                    assert!(lost > budget);
+                    aborted += 1;
+                }
+                Err(e) => panic!("unexpected pipeline error under faults: {e}"),
+            }
+        }
+    }
+    assert!(scored > 0, "no window survived the fault mix");
+    assert!(
+        degraded > 0,
+        "fault rates high enough that some windows must degrade \
+         (scored {scored}, aborted {aborted})"
+    );
+
+    // The observability layer saw the machinery work.
+    let snap = mpdf_obs::metrics::snapshot();
+    let counter = |name: &str| {
+        snap.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    };
+    assert!(
+        counter("wifi.faults_lost_total") > 0,
+        "loss faults never fired:\n{}",
+        snap.to_json()
+    );
+    assert!(
+        counter("wifi.quarantine_degraded_total") > 0,
+        "quarantine never classified a degraded packet:\n{}",
+        snap.to_json()
+    );
+    assert!(
+        counter("core.degraded_windows_total") > 0,
+        "no degraded window reached the scorer:\n{}",
+        snap.to_json()
+    );
+}

@@ -97,6 +97,33 @@ impl UlaSteering {
         self.elements
     }
 
+    /// Element spacing in wavelengths.
+    pub fn spacing_wavelengths(&self) -> f64 {
+        self.spacing_wavelengths
+    }
+
+    /// Steering model of the sub-array keeping the elements in `idx`
+    /// (ascending physical indices). Only an equispaced subset of a ULA is
+    /// itself a ULA — the survivors of a single antenna-chain dropout on
+    /// the 3-element array always are.
+    ///
+    /// # Panics
+    /// Panics if `idx` has fewer than two elements, is not strictly
+    /// ascending and equispaced, or indexes past the array.
+    pub fn subset(&self, idx: &[usize]) -> UlaSteering {
+        assert!(idx.len() >= 2, "need at least two elements");
+        assert!(
+            idx[idx.len() - 1] < self.elements,
+            "subset index out of range"
+        );
+        assert!(idx[1] > idx[0], "indices must be strictly ascending");
+        let gap = idx[1] - idx[0];
+        for w in idx.windows(2) {
+            assert_eq!(w[1] - w[0], gap, "subset must remain equispaced");
+        }
+        UlaSteering::new(idx.len(), self.spacing_wavelengths * gap as f64)
+    }
+
     /// Steering vector at incidence angle `theta` radians (from broadside),
     /// centred like the physical array in `mpdf-wifi`.
     pub fn vector(&self, theta: f64) -> Vec<Complex64> {
@@ -467,6 +494,30 @@ pub fn estimate_aoa(
 
 #[cfg(test)]
 mod tests {
+    #[test]
+    fn ula_subset_keeps_relative_phases() {
+        let full = UlaSteering::three_half_wavelength();
+        let sub = full.subset(&[0, 2]);
+        assert_eq!(sub.elements(), 2);
+        assert!((sub.spacing_wavelengths() - 1.0).abs() < 1e-15);
+        // Relative phase between the surviving elements must match the
+        // physical array at every angle (Bartlett is phase-offset free).
+        for deg in [-60.0f64, -17.0, 0.0, 33.0, 80.0] {
+            let theta = deg.to_radians();
+            let v3 = full.vector(theta);
+            let v2 = sub.vector(theta);
+            let physical = v3[2] * v3[0].conj();
+            let reduced = v2[1] * v2[0].conj();
+            assert!((physical - reduced).norm() < 1e-12, "at {deg} deg");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equispaced")]
+    fn ula_subset_rejects_non_equispaced() {
+        UlaSteering::new(4, 0.5).subset(&[0, 1, 3]);
+    }
+
     use super::*;
 
     /// Builds snapshots of plane waves at the given angles (radians),

@@ -67,6 +67,24 @@ impl CMatrix {
         m
     }
 
+    /// Extracts the principal submatrix selecting `idx` rows and the same
+    /// columns — the spatial covariance of a reduced antenna subset.
+    ///
+    /// # Panics
+    /// Panics if `idx` is empty or any index is out of range.
+    pub fn principal_submatrix(&self, idx: &[usize]) -> Self {
+        assert!(!idx.is_empty(), "cannot select an empty submatrix");
+        for &i in idx {
+            assert!(
+                i < self.rows && i < self.cols,
+                "submatrix index {i} out of range for {}x{}",
+                self.rows,
+                self.cols
+            );
+        }
+        CMatrix::from_fn(idx.len(), idx.len(), |r, c| self[(idx[r], idx[c])])
+    }
+
     /// Builds a matrix from a row-major slice.
     ///
     /// # Panics
@@ -518,5 +536,25 @@ mod tests {
         assert_eq!(m[(0, 1)], c(0.0, 1.0));
         assert_eq!(m[(1, 0)], c(0.0, 2.0));
         assert_eq!(m[(1, 1)], c(-1.0, 0.0));
+    }
+
+    #[test]
+    fn principal_submatrix_selects_rows_and_cols() {
+        let m = CMatrix::from_fn(3, 3, |r, cc| c((10 * r + cc) as f64, 0.0));
+        let s = m.principal_submatrix(&[0, 2]);
+        assert_eq!(s.rows(), 2);
+        assert_eq!(s.cols(), 2);
+        assert_eq!(s[(0, 0)], c(0.0, 0.0));
+        assert_eq!(s[(0, 1)], c(2.0, 0.0));
+        assert_eq!(s[(1, 0)], c(20.0, 0.0));
+        assert_eq!(s[(1, 1)], c(22.0, 0.0));
+        // Full selection is the identity operation.
+        assert_eq!(m.principal_submatrix(&[0, 1, 2]), m);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty submatrix")]
+    fn principal_submatrix_rejects_empty_selection() {
+        CMatrix::identity(3).principal_submatrix(&[]);
     }
 }

@@ -132,13 +132,25 @@ impl Ecdf {
 
     /// Samples the CDF at `n` evenly spaced points spanning the data range,
     /// returning `(x, F(x))` pairs — the series plotted in Fig. 2a / 3a.
+    ///
+    /// A degenerate all-equal sample has zero span; its true CDF is a
+    /// single step 0 → 1 at that value, so the vertical step is emitted
+    /// explicitly as two points sharing `x` (one point at `F = 1` when
+    /// `n == 1`) instead of a flat `F ≡ 1` line with no rise.
     pub fn curve(&self, n: usize) -> Vec<(f64, f64)> {
         if self.sorted.is_empty() || n == 0 {
             return Vec::new();
         }
         let lo = self.sorted[0];
         let hi = *self.sorted.last().unwrap_or(&lo);
-        let span = (hi - lo).max(f64::MIN_POSITIVE);
+        if hi <= lo {
+            return if n == 1 {
+                vec![(lo, 1.0)]
+            } else {
+                vec![(lo, 0.0), (lo, 1.0)]
+            };
+        }
+        let span = hi - lo;
         (0..n)
             .map(|i| {
                 let x = lo + span * i as f64 / (n - 1).max(1) as f64;
@@ -280,6 +292,24 @@ mod tests {
             assert!(w[1].1 >= w[0].1);
         }
         assert!((curve.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ecdf_curve_degenerate_sample_keeps_rising_step() {
+        // Regression: all-equal samples used to clamp the span to
+        // f64::MIN_POSITIVE, placing every sampled point at F(x)=1 with no
+        // rising step in the plotted CDF.
+        let e = Ecdf::new(&[4.2; 7]);
+        let curve = e.curve(50);
+        assert_eq!(curve, vec![(4.2, 0.0), (4.2, 1.0)]);
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1 && w[1].0 >= w[0].0);
+        }
+        assert_eq!(e.curve(1), vec![(4.2, 1.0)]);
+
+        // Single-sample ECDFs are degenerate too.
+        let single = Ecdf::new(&[-1.5]).curve(10);
+        assert_eq!(single, vec![(-1.5, 0.0), (-1.5, 1.0)]);
     }
 
     #[test]

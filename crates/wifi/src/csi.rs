@@ -98,6 +98,21 @@ impl CsiPacket {
         self.get(antenna, subcarrier).norm_sqr()
     }
 
+    /// Packet restricted to the given antenna rows (in the given order) —
+    /// the degraded-mode reduction applied after quarantine marks chains
+    /// unusable. Sequence number and timestamp are preserved.
+    ///
+    /// # Panics
+    /// Panics when `rows` is empty or contains an out-of-range antenna.
+    pub fn select_antennas(&self, rows: &[usize]) -> CsiPacket {
+        assert!(!rows.is_empty(), "cannot select zero antennas");
+        let mut data = Vec::with_capacity(rows.len() * self.subcarriers);
+        for &a in rows {
+            data.extend_from_slice(self.antenna_row(a));
+        }
+        CsiPacket::new(rows.len(), self.subcarriers, data, self.seq, self.timestamp)
+    }
+
     /// Per-subcarrier power averaged over antennas.
     pub fn mean_power_per_subcarrier(&self) -> Vec<f64> {
         (0..self.subcarriers)

@@ -148,7 +148,7 @@ impl ImpairmentModel {
             let k = packet.subcarriers();
             let width = self.interference_width.min(k);
             let start = match interferer_center {
-                Some(c) => c.min(k - 1).saturating_sub(width / 2).min(k - width),
+                Some(c) => burst_start_covering(c, width, k),
                 None => rng.gen_range(0..=(k - width)),
             };
             let sigma =
@@ -184,6 +184,25 @@ impl Default for ImpairmentModel {
     fn default() -> Self {
         ImpairmentModel::commodity_nic()
     }
+}
+
+/// Start of a `width`-long burst window that always covers subcarrier
+/// `center`, clamped into the band `[0, k)`.
+///
+/// The window is centred on `center` and then shifted — never shrunk —
+/// when it would overhang a band edge, so a fixed interferer parked on an
+/// edge subcarrier still hits that subcarrier (an earlier formulation
+/// could slide the window off the requested centre).
+///
+/// Requires `1 ≤ width ≤ k`; an out-of-band `center` is clamped to the
+/// nearest edge subcarrier first.
+fn burst_start_covering(center: usize, width: usize, k: usize) -> usize {
+    debug_assert!(width >= 1 && width <= k);
+    let c = center.min(k - 1);
+    // Centre, clamp right edge, clamp left edge (saturating).
+    let start = c.saturating_sub(width / 2).min(k - width);
+    debug_assert!(start <= c && c < start + width, "burst misses its centre");
+    start
 }
 
 /// Standard normal sample via Box–Muller (keeps us independent of
@@ -324,6 +343,61 @@ mod tests {
             for k in 0..30 {
                 assert!((p.get(a, k).norm() - g).abs() < 1e-12);
             }
+        }
+    }
+
+    #[test]
+    fn burst_window_always_covers_center() {
+        // Exhaustive: every centre (including out-of-band), every width.
+        for k in [1usize, 2, 5, 30] {
+            for width in 1..=k {
+                for center in 0..k + 3 {
+                    let start = burst_start_covering(center, width, k);
+                    let c = center.min(k - 1);
+                    assert!(
+                        start + width <= k,
+                        "window [{start}, {}) overhangs band of {k}",
+                        start + width
+                    );
+                    assert!(
+                        start <= c && c < start + width,
+                        "centre {c} outside burst [{start}, {}) (k={k}, width={width})",
+                        start + width
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edge_center_burst_hits_the_requested_subcarrier() {
+        // A fixed interferer parked on an edge subcarrier must corrupt
+        // that subcarrier whenever it bursts.
+        let model = ImpairmentModel {
+            snr_db: f64::INFINITY,
+            sfo_slope_std: 0.0,
+            agc_jitter_db: 0.0,
+            random_common_phase: false,
+            interference_prob: 1.0,
+            interference_power_db: 10.0,
+            interference_width: 5,
+        };
+        for center in [0usize, 1, 29, 100] {
+            let mut rng = SmallRng::seed_from_u64(17);
+            let mut p = clean_packet();
+            model.apply_with_interferer(
+                &mut p,
+                &INTEL5300_SUBCARRIER_INDICES,
+                1.0,
+                Some(center),
+                &mut rng,
+            );
+            let hit = center.min(29);
+            let delta = (p.get(0, hit) - Complex64::ONE).norm();
+            assert!(
+                delta > 1e-6,
+                "centre subcarrier {hit} untouched by burst (centre {center})"
+            );
         }
     }
 

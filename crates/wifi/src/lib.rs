@@ -7,6 +7,10 @@
 //! - [`csi`] — per-packet CSI matrices and power/RSS features.
 //! - [`mod@array`] — the 3-element λ/2 receive ULA and its steering vectors.
 //! - [`impairments`] — AWGN, CFO/SFO phase errors, AGC jitter.
+//! - [`fault`] — injected receiver faults: loss bursts, chain dropouts,
+//!   AGC clipping, NaN rows, duplicate/out-of-order delivery.
+//! - [`quarantine`] — the validation pass classifying each packet
+//!   Ok / Degraded / Reject before it reaches the detector.
 //! - [`sanitize`] — linear-phase calibration (the paper's \[26\]).
 //! - [`receiver`] — the 50 pkt/s campaign driver, fully seeded.
 //! - [`trace`] — versioned binary capture files for record/replay.
@@ -34,7 +38,9 @@
 pub mod array;
 pub mod band;
 pub mod csi;
+pub mod fault;
 pub mod impairments;
+pub mod quarantine;
 pub mod receiver;
 pub mod sanitize;
 pub mod trace;
@@ -42,5 +48,7 @@ pub mod trace;
 pub use array::UniformLinearArray;
 pub use band::{Band, INTEL5300_SUBCARRIER_INDICES, NUM_SUBCARRIERS};
 pub use csi::CsiPacket;
+pub use fault::FaultModel;
 pub use impairments::ImpairmentModel;
+pub use quarantine::{PacketClass, Quarantine, QuarantinePolicy, RejectReason};
 pub use receiver::{Actor, CsiReceiver, ReceiverConfig};

@@ -18,6 +18,7 @@ use mpdf_propagation::trajectory::Trajectory;
 use crate::array::UniformLinearArray;
 use crate::band::Band;
 use crate::csi::CsiPacket;
+use crate::fault::{FaultModel, FaultState};
 use crate::impairments::ImpairmentModel;
 
 /// Packet rate used throughout the paper's evaluation (§V-A).
@@ -45,6 +46,11 @@ pub struct ReceiverConfig {
     /// `±session_gain_drift_db`; default 1.0). Applied by
     /// [`CsiReceiver::resample_drift`] alongside the clutter path.
     pub session_gain_drift_db: f64,
+    /// Injected receiver faults (default: none). Applied after the
+    /// physical-layer impairments, drawing from a dedicated RNG stream so
+    /// a zero-fault model leaves the packet stream byte-identical to a
+    /// fault-free receiver.
+    pub faults: FaultModel,
 }
 
 impl Default for ReceiverConfig {
@@ -58,6 +64,7 @@ impl Default for ReceiverConfig {
             packet_rate_hz: DEFAULT_PACKET_RATE_HZ,
             clutter_drift_rel: 0.025,
             session_gain_drift_db: 0.3,
+            faults: FaultModel::none(),
         }
     }
 }
@@ -80,6 +87,9 @@ pub struct CsiReceiver {
     /// Current session's interferer centre subcarrier.
     interferer_center: usize,
     rng: SmallRng,
+    /// Fault-injection state (dedicated RNG stream + burst counters);
+    /// untouched while `config.faults.is_none()`.
+    faults: FaultState,
     seq: u64,
     time: f64,
 }
@@ -130,6 +140,7 @@ impl CsiReceiver {
             session_gain: 1.0,
             interferer_center: freqs.len() / 2,
             rng: SmallRng::seed_from_u64(seed),
+            faults: FaultState::new(seed, offsets.len()),
             seq: 0,
             time: 0.0,
         })
@@ -147,6 +158,7 @@ impl CsiReceiver {
     pub fn fork(&self, seed: u64) -> CsiReceiver {
         let mut rx = self.clone();
         rx.rng = SmallRng::seed_from_u64(seed);
+        rx.faults.reset(seed);
         rx.seq = 0;
         rx.time = 0.0;
         rx.session_gain = 1.0;
@@ -241,7 +253,13 @@ impl CsiReceiver {
         CsiPacket::new(offsets.len(), freqs.len(), data, self.seq, self.time)
     }
 
-    fn emit(&mut self, snapshot: &ChannelSnapshot) -> CsiPacket {
+    /// Emits one packet slot into `out`. With faults disabled this pushes
+    /// exactly one packet and never touches the fault RNG stream; with
+    /// faults enabled the slot may contribute zero (loss, hold-back), one
+    /// or two (duplicate, released hold-back) packets. The sequence
+    /// number and clock advance once per slot either way, so lost packets
+    /// leave visible sequence gaps.
+    fn emit_into(&mut self, snapshot: &ChannelSnapshot, out: &mut Vec<CsiPacket>) {
         let mut packet = self.clean_packet(snapshot);
         self.config.impairments.apply_with_interferer(
             &mut packet,
@@ -252,11 +270,25 @@ impl CsiReceiver {
         );
         self.seq += 1;
         self.time += 1.0 / self.config.packet_rate_hz;
-        packet
+        if self.config.faults.is_none() {
+            out.push(packet);
+        } else {
+            let faults = self.config.faults;
+            faults.apply(packet, &mut self.faults, out);
+        }
     }
 
-    /// Captures `n` packets with a static scene (optional stationary
-    /// human).
+    /// Releases a trailing reorder hold-back so a capture never silently
+    /// swallows its last packet.
+    fn flush_faults(&mut self, out: &mut Vec<CsiPacket>) {
+        if let Some(p) = self.faults.take_held() {
+            out.push(p);
+        }
+    }
+
+    /// Captures `n` packet slots with a static scene (optional stationary
+    /// human). With faults enabled the returned packet count can differ
+    /// from `n` (loss swallows slots, duplication re-delivers).
     ///
     /// # Errors
     /// Propagates [`TraceError`] from the snapshot.
@@ -266,7 +298,12 @@ impl CsiReceiver {
         n: usize,
     ) -> Result<Vec<CsiPacket>, TraceError> {
         let snapshot = self.channel.snapshot(human)?;
-        Ok((0..n).map(|_| self.emit(&snapshot)).collect())
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            self.emit_into(&snapshot, &mut out);
+        }
+        self.flush_faults(&mut out);
+        Ok(out)
     }
 
     /// Captures `n` packets while the human follows `trajectory`
@@ -287,8 +324,9 @@ impl CsiReceiver {
         for _ in 0..n {
             let pos = trajectory.position(self.time - t0);
             let snapshot = self.channel.snapshot(Some(&body.at(pos)))?;
-            out.push(self.emit(&snapshot));
+            self.emit_into(&snapshot, &mut out);
         }
+        self.flush_faults(&mut out);
         Ok(out)
     }
 
@@ -344,8 +382,9 @@ impl CsiReceiver {
                 .map(|a| a.body.at(a.trajectory.position(elapsed)))
                 .collect();
             let snapshot = self.channel.snapshot_multi(&bodies)?;
-            out.push(self.emit(&snapshot));
+            self.emit_into(&snapshot, &mut out);
         }
+        self.flush_faults(&mut out);
         Ok(out)
     }
 }
@@ -500,6 +539,76 @@ mod tests {
         assert_eq!(f.clock(), 0.0);
         let p = f.capture_static(None, 1).unwrap();
         assert_eq!(p[0].seq, 0);
+    }
+
+    #[test]
+    fn zero_fault_model_is_byte_identical_to_default() {
+        // The explicit zero-fault config must be indistinguishable from a
+        // receiver that never heard of fault injection — same impairment
+        // RNG stream, same packets, bit for bit.
+        let explicit = ReceiverConfig {
+            faults: crate::fault::FaultModel::none(),
+            ..ReceiverConfig::default()
+        };
+        let mut a = CsiReceiver::with_config(link(), ReceiverConfig::default(), 21).unwrap();
+        let mut b = CsiReceiver::with_config(link(), explicit, 21).unwrap();
+        a.resample_drift();
+        b.resample_drift();
+        assert_eq!(
+            a.capture_sessions(None, 20, 2).unwrap(),
+            b.capture_sessions(None, 20, 2).unwrap()
+        );
+    }
+
+    #[test]
+    fn faulted_captures_are_deterministic_across_forks() {
+        // Bit-level fingerprint: chaos streams contain NaN rows, which
+        // `PartialEq` would declare unequal to themselves.
+        let fp = |packets: &[CsiPacket]| -> Vec<(u64, Vec<u64>)> {
+            packets
+                .iter()
+                .map(|p| {
+                    let bits = (0..p.antennas())
+                        .flat_map(|a| (0..p.subcarriers()).map(move |k| (a, k)))
+                        .flat_map(|(a, k)| {
+                            let h = p.get(a, k);
+                            [h.re.to_bits(), h.im.to_bits()]
+                        })
+                        .collect();
+                    (p.seq, bits)
+                })
+                .collect()
+        };
+        let cfg = ReceiverConfig {
+            faults: crate::fault::FaultModel::chaos(),
+            ..ReceiverConfig::default()
+        };
+        let mut rx = CsiReceiver::with_config(link(), cfg, 3).unwrap();
+        let a = rx.fork(9).capture_static(None, 80).unwrap();
+        // Perturb the parent: forks must not care.
+        let _ = rx.capture_static(None, 13).unwrap();
+        let b = rx.fork(9).capture_static(None, 80).unwrap();
+        assert_eq!(fp(&a), fp(&b));
+        assert_ne!(fp(&a), fp(&rx.fork(10).capture_static(None, 80).unwrap()));
+    }
+
+    #[test]
+    fn loss_faults_shorten_captures_but_keep_slot_clock() {
+        let cfg = ReceiverConfig {
+            faults: crate::fault::FaultModel {
+                loss_burst_prob: 0.1,
+                loss_burst_len: 4.0,
+                ..crate::fault::FaultModel::none()
+            },
+            ..ReceiverConfig::default()
+        };
+        let mut rx = CsiReceiver::with_config(link(), cfg, 5).unwrap();
+        let packets = rx.capture_static(None, 100).unwrap();
+        assert!(packets.len() < 100, "lossy capture returned all packets");
+        // The clock still advanced one tick per *slot*, not per packet.
+        assert!((rx.clock() - 2.0).abs() < 1e-9);
+        // Sequence numbers expose the gaps.
+        assert!(packets.last().map(|p| p.seq).unwrap_or(0) >= packets.len() as u64);
     }
 
     #[test]

@@ -53,6 +53,10 @@ fn seeded_violations_are_each_detected() {
             "src/lib.rs:22: [no-raw-stderr]",
             "eprintln! in library code",
         ),
+        (
+            "crates/wifi/src/lib.rs:10: [no-panic]",
+            "expect in the fault path",
+        ),
     ];
     for (needle, what) in expected {
         assert!(
@@ -65,8 +69,8 @@ fn seeded_violations_are_each_detected() {
     // binary entry point and the #[cfg(test)] module must stay quiet.
     // (crate-root-attrs fires once per missing attribute.)
     assert!(
-        stdout.contains("xtask lint: 8 violation(s)"),
-        "exactly the 8 seeded violations should fire:\n{stdout}"
+        stdout.contains("xtask lint: 9 violation(s)"),
+        "exactly the 9 seeded violations should fire:\n{stdout}"
     );
     assert!(
         !stdout.contains("bin/tool.rs"),

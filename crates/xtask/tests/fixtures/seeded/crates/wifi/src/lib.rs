@@ -1,0 +1,16 @@
+//! Fixture receiver crate: proves the lint walker covers the
+//! fault-injection modules under `crates/wifi` — one planted
+//! `no-panic` violation (an expect in the fault path) and one
+//! annotated escape hatch that must stay quiet.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub fn fault_length(len: u32) -> usize {
+    usize::try_from(len).expect("fixture fault length")
+}
+
+pub fn fault_length_checked(len: u32) -> usize {
+    // lint: allow(no-panic) — fixture: u32 always fits in usize here
+    usize::try_from(len).expect("fixture fault length")
+}
