@@ -137,15 +137,31 @@ impl<S: DetectionScheme> Detector<S> {
     }
 
     /// Streams decisions over consecutive non-overlapping windows of a
-    /// packet capture (a trailing partial window is dropped).
+    /// packet capture.
+    ///
+    /// Contract: only full windows of `config.window` packets are scored.
+    /// A trailing partial window (fewer than `config.window` packets left
+    /// at the end of the capture) is **dropped, not scored** — a partial
+    /// window would see a different noise floor than the threshold was
+    /// calibrated for. Each drop is counted on
+    /// `core.partial_windows_dropped_total`, and every decision that went
+    /// through the graceful-degradation path is counted on
+    /// `core.stream_degraded_decisions_total`, so a stream consumer can
+    /// audit both losses without re-deriving them.
     ///
     /// # Errors
     /// Propagates scheme errors.
     pub fn decide_stream(&self, packets: &[CsiPacket]) -> Result<Vec<Decision>, DetectError> {
-        packets
-            .chunks_exact(self.config.window)
-            .map(|w| self.decide(w))
-            .collect()
+        let chunks = packets.chunks_exact(self.config.window);
+        if !chunks.remainder().is_empty() {
+            mpdf_obs::counter!("core.partial_windows_dropped_total").inc();
+        }
+        let decisions: Vec<Decision> = chunks.map(|w| self.decide(w)).collect::<Result<_, _>>()?;
+        let degraded = decisions.iter().filter(|d| d.degraded).count();
+        if degraded > 0 {
+            mpdf_obs::counter!("core.stream_degraded_decisions_total").add(degraded as u64);
+        }
+        Ok(decisions)
     }
 }
 
@@ -213,8 +229,14 @@ mod tests {
             ..DetectorConfig::default()
         };
         let det = Detector::calibrate(&packets(60, 0.0, 0), Baseline, cfg, 0.1).unwrap();
+        let dropped = mpdf_obs::metrics::counter("core.partial_windows_dropped_total");
+        let before = dropped.get();
         let decisions = det.decide_stream(&packets(35, 0.0, 500)).unwrap();
         assert_eq!(decisions.len(), 3);
+        // The 5-packet trailing remainder is dropped *and counted*.
+        assert!(dropped.get() > before, "partial-window drop not counted");
+        let exact = det.decide_stream(&packets(30, 0.0, 500)).unwrap();
+        assert_eq!(exact.len(), 3);
     }
 
     #[test]

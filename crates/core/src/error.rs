@@ -33,6 +33,24 @@ pub enum DetectError {
         /// The configured tolerance ([`crate::profile::DetectorConfig::gap_budget`]).
         budget: usize,
     },
+    /// A constructor was handed parameters outside its documented domain
+    /// (e.g. too few null scores, a non-positive shift, stickiness out of
+    /// `[0.5, 1)`).
+    InvalidConfig {
+        /// What was wrong, in one human-readable clause.
+        what: String,
+    },
+    /// A staged recalibration produced a profile that failed the rollback
+    /// guard: scored against the retained null-window reservoir it
+    /// realized a false-positive rate beyond the configured tolerance,
+    /// so the previous profile stays in effect.
+    RecalibrationRejected {
+        /// False-positive rate the candidate profile realized on the
+        /// reservoir.
+        realized_fp: f64,
+        /// Maximum tolerated reservoir false-positive rate.
+        tolerance: f64,
+    },
     /// Angle estimation failed.
     Music(MusicError),
     /// Ray tracing over the link geometry failed.
@@ -53,6 +71,16 @@ impl fmt::Display for DetectError {
             DetectError::DegradedBeyondBudget { lost, budget } => write!(
                 f,
                 "window degraded beyond budget: {lost} packets lost, budget {budget}"
+            ),
+            DetectError::InvalidConfig { what } => {
+                write!(f, "invalid configuration: {what}")
+            }
+            DetectError::RecalibrationRejected {
+                realized_fp,
+                tolerance,
+            } => write!(
+                f,
+                "recalibration rejected by rollback guard: reservoir FP {realized_fp:.4} exceeds tolerance {tolerance:.4}"
             ),
             DetectError::Music(e) => write!(f, "angle estimation failed: {e}"),
             DetectError::Trace(e) => write!(f, "link geometry is untraceable: {e}"),
@@ -104,6 +132,18 @@ mod tests {
         let e = DetectError::DegradedBeyondBudget { lost: 7, budget: 5 };
         assert!(e.to_string().contains("7 packets lost"));
         assert!(e.to_string().contains("budget 5"));
+        let e = DetectError::InvalidConfig {
+            what: "stickiness must be in [0.5, 1)".into(),
+        };
+        assert!(e.to_string().contains("invalid configuration"));
+        assert!(e.to_string().contains("stickiness"));
+        let e = DetectError::RecalibrationRejected {
+            realized_fp: 0.42,
+            tolerance: 0.2,
+        };
+        assert!(e.to_string().contains("rollback guard"));
+        assert!(e.to_string().contains("0.4200"));
+        assert!(e.to_string().contains("0.2000"));
     }
 
     #[test]
@@ -163,6 +203,15 @@ mod tests {
         assert!(DetectError::DegradedBeyondBudget { lost: 3, budget: 2 }
             .source()
             .is_none());
+        assert!(DetectError::InvalidConfig { what: "x".into() }
+            .source()
+            .is_none());
+        assert!(DetectError::RecalibrationRejected {
+            realized_fp: 0.5,
+            tolerance: 0.1,
+        }
+        .source()
+        .is_none());
     }
 
     #[test]

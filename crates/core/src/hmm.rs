@@ -17,6 +17,8 @@ use serde::{Deserialize, Serialize};
 
 use mpdf_rfmath::stats::{mean, std_dev};
 
+use crate::error::DetectError;
+
 /// A 1-D Gaussian emission model over `log10(score)`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Gaussian {
@@ -69,20 +71,41 @@ impl HmmSmoother {
     /// Fits the Absent emission to calibration null scores and derives
     /// the Present state as a `shift_sigmas`-σ shifted copy.
     ///
-    /// # Panics
-    /// Panics if fewer than two null scores are given or parameters are
-    /// out of range.
-    pub fn from_null_scores(null_scores: &[f64], shift_sigmas: f64, stickiness: f64) -> Self {
-        assert!(null_scores.len() >= 2, "need at least two null scores");
-        assert!(shift_sigmas > 0.0, "shift must be positive");
-        assert!(
-            (0.5..1.0).contains(&stickiness),
-            "stickiness must be in [0.5, 1)"
-        );
+    /// Constant null scores (zero sample variance) are fine: the emission
+    /// standard deviation is floored at `0.05` decades, so the smoother
+    /// stays proper.
+    ///
+    /// # Errors
+    /// [`DetectError::InvalidConfig`] if fewer than two null scores are
+    /// given, `shift_sigmas` is not positive, or `stickiness` is outside
+    /// `[0.5, 1)`.
+    pub fn from_null_scores(
+        null_scores: &[f64],
+        shift_sigmas: f64,
+        stickiness: f64,
+    ) -> Result<Self, DetectError> {
+        if null_scores.len() < 2 {
+            return Err(DetectError::InvalidConfig {
+                what: format!(
+                    "need at least two null scores to fit the smoother, got {}",
+                    null_scores.len()
+                ),
+            });
+        }
+        if shift_sigmas <= 0.0 || shift_sigmas.is_nan() {
+            return Err(DetectError::InvalidConfig {
+                what: format!("shift must be positive, got {shift_sigmas}"),
+            });
+        }
+        if !(0.5..1.0).contains(&stickiness) {
+            return Err(DetectError::InvalidConfig {
+                what: format!("stickiness must be in [0.5, 1), got {stickiness}"),
+            });
+        }
         let logs: Vec<f64> = null_scores.iter().map(|&s| log_score(s)).collect();
         let m = mean(&logs);
         let s = std_dev(&logs).max(0.05);
-        HmmSmoother {
+        Ok(HmmSmoother {
             absent: Gaussian { mean: m, std: s },
             present: Gaussian {
                 mean: m + shift_sigmas * s,
@@ -92,7 +115,7 @@ impl HmmSmoother {
             stay_present: stickiness,
             prior_present: 0.1,
             llr_cap: Self::DEFAULT_LLR_CAP,
-        }
+        })
     }
 
     /// Capped log-likelihood ratio `ln p(x|Present) − ln p(x|Absent)`.
@@ -101,12 +124,35 @@ impl HmmSmoother {
     }
 
     /// Convenience constructor with the default shift and stickiness.
-    pub fn with_defaults(null_scores: &[f64]) -> Self {
+    ///
+    /// # Errors
+    /// [`DetectError::InvalidConfig`] if fewer than two null scores are
+    /// given.
+    pub fn with_defaults(null_scores: &[f64]) -> Result<Self, DetectError> {
         HmmSmoother::from_null_scores(
             null_scores,
             Self::DEFAULT_SHIFT_SIGMAS,
             Self::DEFAULT_STICKINESS,
         )
+    }
+
+    /// One forward-filter step: given the previous posterior
+    /// `P(Present | scores[..t])` and the window-`t` score, returns the
+    /// updated posterior `P(Present | scores[..=t])`.
+    ///
+    /// This is the exact loop body of [`HmmSmoother::filter`], exposed so
+    /// a long-running session can carry the scalar posterior across
+    /// checkpoints with bit-identical arithmetic.
+    pub fn step(&self, p_present: f64, score: f64) -> f64 {
+        let x = log_score(score);
+        // Predict.
+        let pred_present =
+            p_present * self.stay_present + (1.0 - p_present) * (1.0 - self.stay_absent);
+        // Update with the capped likelihood ratio.
+        let ratio = self.llr(x).exp();
+        let num = pred_present * ratio;
+        let den = num + (1.0 - pred_present);
+        num / den
     }
 
     /// Forward-filtered posterior `P(Present | scores[..=t])` per window —
@@ -115,15 +161,7 @@ impl HmmSmoother {
         let mut out = Vec::with_capacity(scores.len());
         let mut p_present = self.prior_present;
         for &s in scores {
-            let x = log_score(s);
-            // Predict.
-            let pred_present =
-                p_present * self.stay_present + (1.0 - p_present) * (1.0 - self.stay_absent);
-            // Update with the capped likelihood ratio.
-            let ratio = self.llr(x).exp();
-            let num = pred_present * ratio;
-            let den = num + (1.0 - pred_present);
-            p_present = num / den;
+            p_present = self.step(p_present, s);
             out.push(p_present);
         }
         out
@@ -198,7 +236,7 @@ mod tests {
         let nulls: Vec<f64> = (0..50)
             .map(|i| 1.0 * 10f64.powf(0.1 * ((i % 7) as f64 - 3.0) / 3.0))
             .collect();
-        HmmSmoother::with_defaults(&nulls)
+        HmmSmoother::with_defaults(&nulls).expect("valid null scores")
     }
 
     #[test]
@@ -257,8 +295,8 @@ mod tests {
     #[test]
     fn stickiness_controls_blip_tolerance() {
         let nulls = vec![1.0, 1.1, 0.9, 1.05, 0.95];
-        let loose = HmmSmoother::from_null_scores(&nulls, 3.0, 0.5);
-        let sticky = HmmSmoother::from_null_scores(&nulls, 3.0, 0.95);
+        let loose = HmmSmoother::from_null_scores(&nulls, 3.0, 0.5).expect("valid");
+        let sticky = HmmSmoother::from_null_scores(&nulls, 3.0, 0.95).expect("valid");
         let mut scores = vec![1.0; 9];
         scores[4] = 8.0;
         let loose_states = loose.smooth(&scores);
@@ -269,8 +307,60 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least two null scores")]
-    fn too_few_nulls_panics() {
-        let _ = HmmSmoother::with_defaults(&[1.0]);
+    fn too_few_nulls_is_invalid_config() {
+        let err = HmmSmoother::with_defaults(&[1.0]).unwrap_err();
+        assert!(matches!(err, DetectError::InvalidConfig { .. }), "{err}");
+        assert!(err.to_string().contains("at least two null scores"));
+    }
+
+    #[test]
+    fn bad_parameters_are_invalid_config() {
+        let nulls = [1.0, 1.1, 0.9];
+        for bad in [0.0, -1.0, f64::NAN] {
+            let err = HmmSmoother::from_null_scores(&nulls, bad, 0.9).unwrap_err();
+            assert!(matches!(err, DetectError::InvalidConfig { .. }), "{err}");
+        }
+        for bad in [0.49, 1.0, 1.5, f64::NAN] {
+            let err = HmmSmoother::from_null_scores(&nulls, 3.0, bad).unwrap_err();
+            assert!(matches!(err, DetectError::InvalidConfig { .. }), "{err}");
+        }
+    }
+
+    #[test]
+    fn step_matches_filter_exactly() {
+        let h = smoother();
+        let scores = [0.5, 2.0, 50.0, 0.1, 1.0, 7.0];
+        let filtered = h.filter(&scores);
+        let mut p = h.prior_present;
+        for (i, &s) in scores.iter().enumerate() {
+            p = h.step(p, s);
+            assert_eq!(p.to_bits(), filtered[i].to_bits(), "window {i}");
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Constant null scores have zero sample variance; the 0.05
+            /// std floor must still yield a usable (finite, proper)
+            /// smoother whose filter emits probabilities.
+            #[test]
+            fn constant_nulls_yield_usable_smoother(
+                level in 1e-9f64..1e6,
+                n in 2usize..40,
+            ) {
+                let nulls = vec![level; n];
+                let h = HmmSmoother::with_defaults(&nulls).expect("floored std");
+                prop_assert!(h.absent.std >= 0.05);
+                prop_assert!(h.absent.mean.is_finite());
+                prop_assert!(h.present.mean.is_finite());
+                let post = h.filter(&[level, level * 10.0, level]);
+                for p in post {
+                    prop_assert!((0.0..=1.0).contains(&p), "posterior {p}");
+                }
+            }
+        }
     }
 }

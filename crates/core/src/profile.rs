@@ -184,6 +184,66 @@ impl CalibrationProfile {
         })
     }
 
+    /// Reassembles a profile from previously stored parts (checkpoint
+    /// restore).
+    ///
+    /// The Eq. 17 path weights are re-derived from the stored spectrum
+    /// under `config.theta_gate_deg` — the identical arithmetic
+    /// [`CalibrationProfile::build`] runs — so a restored profile compares
+    /// equal to the one that was saved.
+    ///
+    /// # Errors
+    /// [`DetectError::InvalidConfig`] if the part shapes disagree with the
+    /// declared `(antennas, subcarriers)` geometry.
+    pub fn from_parts(
+        antennas: usize,
+        subcarriers: usize,
+        static_amplitude: Vec<Vec<f64>>,
+        static_power: Vec<f64>,
+        static_covariances: Vec<CMatrix>,
+        static_spectrum: Pseudospectrum,
+        config: &DetectorConfig,
+    ) -> Result<CalibrationProfile, DetectError> {
+        if static_amplitude.len() != antennas
+            || static_amplitude.iter().any(|row| row.len() != subcarriers)
+        {
+            return Err(DetectError::InvalidConfig {
+                what: format!("static amplitude is not {antennas}x{subcarriers}"),
+            });
+        }
+        if static_power.len() != subcarriers {
+            return Err(DetectError::InvalidConfig {
+                what: format!(
+                    "static power has {} entries, expected {subcarriers}",
+                    static_power.len()
+                ),
+            });
+        }
+        if static_covariances.len() != subcarriers
+            || static_covariances
+                .iter()
+                .any(|r| r.rows() != antennas || r.cols() != antennas)
+        {
+            return Err(DetectError::InvalidConfig {
+                what: format!("expected {subcarriers} static covariances of {antennas}x{antennas}"),
+            });
+        }
+        let path_weights = PathWeights::with_gate(
+            &static_spectrum,
+            config.theta_gate_deg.0,
+            config.theta_gate_deg.1,
+        );
+        Ok(CalibrationProfile {
+            antennas,
+            subcarriers,
+            static_amplitude,
+            static_power,
+            static_covariances,
+            static_spectrum,
+            path_weights,
+        })
+    }
+
     /// Receive-antenna count the profile was built for.
     pub fn antennas(&self) -> usize {
         self.antennas
@@ -342,6 +402,40 @@ mod tests {
         assert!((weighted[(0, 0)].re - 1.0).abs() < 1e-12);
         let weighted2 = pool_covariances(&covs, Some(&[0.25, 0.75]));
         assert!((weighted2[(0, 0)].re - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_parts_roundtrips_build() {
+        let cfg = DetectorConfig::default();
+        let p = CalibrationProfile::build(&synthetic_packets(10), &cfg).unwrap();
+        let rebuilt = CalibrationProfile::from_parts(
+            p.antennas(),
+            p.subcarriers(),
+            p.static_amplitude().to_vec(),
+            p.static_power().to_vec(),
+            p.static_covariances().to_vec(),
+            p.static_spectrum().clone(),
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(p, rebuilt, "path weights must re-derive identically");
+    }
+
+    #[test]
+    fn from_parts_rejects_bad_shapes() {
+        let cfg = DetectorConfig::default();
+        let p = CalibrationProfile::build(&synthetic_packets(10), &cfg).unwrap();
+        let err = CalibrationProfile::from_parts(
+            p.antennas(),
+            p.subcarriers(),
+            p.static_amplitude().to_vec(),
+            vec![0.0; 3],
+            p.static_covariances().to_vec(),
+            p.static_spectrum().clone(),
+            &cfg,
+        )
+        .unwrap_err();
+        assert!(matches!(err, DetectError::InvalidConfig { .. }), "{err}");
     }
 
     #[test]

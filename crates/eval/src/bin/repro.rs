@@ -10,7 +10,7 @@ use mpdf_eval::experiments as exp;
 use mpdf_eval::workload::CampaignConfig;
 
 /// Known experiment names, in `all` execution order.
-const ALL_EXPERIMENTS: [&str; 17] = [
+const ALL_EXPERIMENTS: [&str; 18] = [
     "fig2a",
     "fig2b",
     "fig3",
@@ -28,6 +28,7 @@ const ALL_EXPERIMENTS: [&str; 17] = [
     "ext-ablate",
     "ext-sweep",
     "ext-chaos",
+    "ext-drift",
 ];
 
 /// Help text; printed on `--help` and after usage errors.
@@ -36,7 +37,7 @@ usage: repro [options] <experiment>...
 
 experiments:
   fig2a fig2b fig3 fig4 fig5b fig5c fig7 fig8 fig9 fig10 fig11 fig12
-  ext-hmm ext-array ext-ablate ext-sweep ext-chaos all
+  ext-hmm ext-array ext-ablate ext-sweep ext-chaos ext-drift all
   (default: fig7)
 
 options:
@@ -61,6 +62,13 @@ options:
   --trace <path>     write an NDJSON span trace of the run to <path>
   --metrics <path>   write a metrics snapshot (counters, gauges, per-stage
                      latency histograms) as JSON to <path>
+  --session          run a supervised long-running session demo instead of
+                     experiments: drift sentinels, staged recalibration and
+                     per-window checkpointing (one line per window)
+  --checkpoint <p>   session checkpoint file; an existing checkpoint is
+                     resumed from its window cursor, bit-identically
+  --kill-after <n>   exit after processing n windows of this session run,
+                     leaving the checkpoint behind for a later resume
   --help             print this message
 
 observability flags only add artifacts: stdout and --csvdir output stay
@@ -74,6 +82,7 @@ struct Options {
     trace: Option<std::path::PathBuf>,
     metrics: Option<std::path::PathBuf>,
     experiments: Vec<String>,
+    session: Option<mpdf_eval::session::SessionDemoOptions>,
     help: bool,
 }
 
@@ -102,6 +111,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut csv_dir = None;
     let mut trace = None;
     let mut metrics = None;
+    let mut session = false;
+    let mut session_opts = mpdf_eval::session::SessionDemoOptions::default();
     let mut help = false;
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
@@ -111,6 +122,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         };
         if flag == "help" {
             help = true;
+            continue;
+        }
+        // `--session` is the one boolean flag besides `--help`.
+        if flag == "session" {
+            session = true;
             continue;
         }
         let value = iter
@@ -144,8 +160,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "case" => experiments.push(value.clone()),
             "trace" => trace = Some(std::path::PathBuf::from(value)),
             "metrics" => metrics = Some(std::path::PathBuf::from(value)),
+            "checkpoint" => session_opts.checkpoint = Some(std::path::PathBuf::from(value)),
+            "kill-after" => {
+                session_opts.kill_after = Some(parse_num(flag, value, "a non-negative integer")?);
+            }
             other => return Err(format!("unknown option --{other}")),
         }
+    }
+    if !session && (session_opts.checkpoint.is_some() || session_opts.kill_after.is_some()) {
+        return Err("--checkpoint/--kill-after require --session".to_string());
     }
     if experiments.is_empty() {
         experiments.push("fig7".to_string());
@@ -158,6 +181,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         trace,
         metrics,
         experiments,
+        session: session.then_some(session_opts),
         help,
     })
 }
@@ -193,6 +217,7 @@ fn run_experiment(name: &str, opts: &Options) -> Result<ExperimentOutput, String
         "ext-ablate" => "repro.start.ext-ablate",
         "ext-sweep" => "repro.start.ext-sweep",
         "ext-chaos" => "repro.start.ext-chaos",
+        "ext-drift" => "repro.start.ext-drift",
         _ => "repro.start.unknown",
     });
     let started = std::time::Instant::now();
@@ -383,6 +408,33 @@ fn run_experiment(name: &str, opts: &Options) -> Result<ExperimentOutput, String
             ));
             exp::ext_chaos::report(&r)
         }
+        "ext-drift" => {
+            let r = exp::ext_drift::run(&opts.cfg).map_err(err)?;
+            let mut rows = vec![vec![
+                "block".into(),
+                "drift_rel".into(),
+                "frozen_detect".into(),
+                "frozen_fp".into(),
+                "adaptive_detect".into(),
+                "adaptive_fp".into(),
+                "recals_accepted".into(),
+                "recals_rejected".into(),
+            ]];
+            for row in &r.rows {
+                rows.push(vec![
+                    row.block.to_string(),
+                    row.drift_rel.to_string(),
+                    row.frozen_detect.to_string(),
+                    row.frozen_fp.to_string(),
+                    row.adaptive_detect.to_string(),
+                    row.adaptive_fp.to_string(),
+                    row.recals_accepted.to_string(),
+                    row.recals_rejected.to_string(),
+                ]);
+            }
+            csvs.push(("ext_drift_adaptation".into(), mpdf_eval::report::csv(&rows)));
+            exp::ext_drift::report(&r)
+        }
         other => return Err(format!("unknown experiment `{other}`")),
     };
     Ok(ExperimentOutput {
@@ -441,6 +493,33 @@ fn main() {
     }
     if opts.metrics.is_some() {
         mpdf_obs::metrics::enable_timing();
+    }
+
+    // Session mode replaces the experiment fan-out entirely: one
+    // supervised long-running loop, windows printed in order.
+    if let Some(demo) = &opts.session {
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        let result = mpdf_eval::session::run_session_demo(&opts.cfg, demo, &mut out);
+        drop(out);
+        mpdf_obs::trace::uninstall();
+        let mut failed = result.is_err();
+        if let Err(e) = &result {
+            eprintln!("error: {e}");
+        }
+        if let Some(path) = &opts.metrics {
+            match mpdf_obs::metrics::write_json(path) {
+                Ok(()) => eprintln!("wrote {}", path.display()),
+                Err(e) => {
+                    eprintln!("error: write metrics {}: {e}", path.display());
+                    failed = true;
+                }
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        return;
     }
 
     // Fan the experiments out, then emit everything in request order so

@@ -79,7 +79,7 @@ pub fn run(cfg: &CampaignConfig) -> Result<ExtHmmResult, mpdf_core::error::Detec
     let half = negatives.len() / 2;
     let (null, rest) = negatives.split_at(half);
     let thr = threshold_for_fp(null, 0.1);
-    let hmm = HmmSmoother::with_defaults(null);
+    let hmm = HmmSmoother::with_defaults(null)?;
 
     let (scores, truth) = timeline(rest, &positives, 12, 10);
     let raw: Vec<bool> = scores.iter().map(|&s| s > thr).collect();

@@ -7,6 +7,7 @@
 pub mod ext_ablate;
 pub mod ext_array;
 pub mod ext_chaos;
+pub mod ext_drift;
 pub mod ext_hmm;
 pub mod ext_sweep;
 pub mod fig10;

@@ -11,4 +11,5 @@ pub mod experiments;
 pub mod metrics;
 pub mod report;
 pub mod scenario;
+pub mod session;
 pub mod workload;

@@ -1,0 +1,712 @@
+//! Versioned, checksummed checkpoint files for session state.
+//!
+//! A checkpoint captures the complete dynamic state of a
+//! [`SessionRuntime`](crate::runtime::SessionRuntime) — profile,
+//! threshold, HMM state, drift-sentinel state, supervision counters, the
+//! null reservoir and shadow buffer, and the seq cursor — so a killed
+//! session restores and continues **bit-identically**.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! magic    b"MPSC"                             4 bytes
+//! version  u16                                 2
+//! paylen   u64  (payload byte count)           8
+//! payload  [paylen bytes]
+//! checksum u64  FNV-1a(64) over magic..payload 8
+//! ```
+//!
+//! The payload packs, in order: cursor, threshold, the calibration
+//! profile (shape, amplitudes, powers, per-subcarrier covariances,
+//! static spectrum — path weights are *re-derived* at restore, which is
+//! bit-identical arithmetic), the HMM parameters and carried posterior,
+//! the sentinel snapshot, supervision state (mode, retries, backoff,
+//! watchdog strikes), and the reservoir + shadow packet windows in the
+//! `mpdf_wifi::trace` per-packet encoding.
+//!
+//! [`CheckpointStore`] adds crash-safe file handling: atomic
+//! write-rename through a `.tmp` sibling, the previous good checkpoint
+//! retained as `.bak`, and corrupt/truncated-file detection on load
+//! falling back to the previous good file.
+
+use std::error::Error;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use mpdf_core::error::DetectError;
+use mpdf_core::hmm::{Gaussian, HmmSmoother};
+use mpdf_core::profile::{CalibrationProfile, DetectorConfig};
+use mpdf_music::music::Pseudospectrum;
+use mpdf_rfmath::complex::Complex64;
+use mpdf_rfmath::matrix::CMatrix;
+use mpdf_wifi::csi::CsiPacket;
+
+use crate::runtime::{SessionMode, SessionSnapshot};
+use crate::sentinel::{DriftState, SentinelSnapshot};
+
+/// Checkpoint file magic.
+pub const MAGIC: &[u8; 4] = b"MPSC";
+/// Current checkpoint format version.
+pub const VERSION: u16 = 1;
+
+/// Errors produced when loading a checkpoint.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The file does not start with the `MPSC` magic.
+    BadMagic,
+    /// The version field is unsupported.
+    UnsupportedVersion(u16),
+    /// The file ends before its declared payload/trailer.
+    Truncated,
+    /// The trailing checksum does not match the file contents.
+    ChecksumMismatch {
+        /// Checksum stored in the file.
+        stored: u64,
+        /// Checksum computed over the file contents.
+        computed: u64,
+    },
+    /// The payload decodes but is internally inconsistent.
+    Corrupt(String),
+    /// The decoded state fails semantic validation (profile shapes, HMM
+    /// parameters).
+    Invalid(DetectError),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::BadMagic => write!(f, "not an MPSC checkpoint (bad magic)"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint version {v}")
+            }
+            CheckpointError::Truncated => write!(f, "checkpoint ends before declared length"),
+            CheckpointError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checkpoint checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            CheckpointError::Corrupt(what) => write!(f, "checkpoint is corrupt: {what}"),
+            CheckpointError::Invalid(e) => write!(f, "checkpoint state is invalid: {e}"),
+            CheckpointError::Io(e) => write!(f, "i/o error on checkpoint: {e}"),
+        }
+    }
+}
+
+impl Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            CheckpointError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<DetectError> for CheckpointError {
+    fn from(e: DetectError) -> Self {
+        CheckpointError::Invalid(e)
+    }
+}
+
+/// FNV-1a 64-bit checksum.
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn put_packets(
+    buf: &mut BytesMut,
+    windows: &[Vec<CsiPacket>],
+    antennas: usize,
+    subcarriers: usize,
+) {
+    buf.put_u32_le(windows.len() as u32);
+    for w in windows {
+        buf.put_u32_le(w.len() as u32);
+        for p in w {
+            debug_assert!(
+                p.antennas() == antennas && p.subcarriers() == subcarriers,
+                "checkpointed packet shape diverges from profile"
+            );
+            buf.put_u64_le(p.seq);
+            buf.put_f64_le(p.timestamp);
+            for a in 0..antennas {
+                for k in 0..subcarriers {
+                    let z = p.get(a, k);
+                    buf.put_f64_le(z.re);
+                    buf.put_f64_le(z.im);
+                }
+            }
+        }
+    }
+}
+
+/// Serializes a session snapshot into a checkpoint byte image.
+///
+/// All packet windows in the snapshot must share the profile's
+/// `(antennas, subcarriers)` shape — the runtime guarantees this (every
+/// window passed shape validation before being retained).
+pub fn encode_snapshot(snapshot: &SessionSnapshot) -> Bytes {
+    let antennas = snapshot.profile.antennas();
+    let subcarriers = snapshot.profile.subcarriers();
+    let mut payload = BytesMut::with_capacity(4096);
+    payload.put_u64_le(snapshot.cursor);
+    payload.put_f64_le(snapshot.threshold);
+
+    // Profile.
+    payload.put_u16_le(antennas as u16);
+    payload.put_u16_le(subcarriers as u16);
+    for row in snapshot.profile.static_amplitude() {
+        for &v in row {
+            payload.put_f64_le(v);
+        }
+    }
+    for &v in snapshot.profile.static_power() {
+        payload.put_f64_le(v);
+    }
+    for r in snapshot.profile.static_covariances() {
+        for z in r.as_slice() {
+            payload.put_f64_le(z.re);
+            payload.put_f64_le(z.im);
+        }
+    }
+    let spectrum = snapshot.profile.static_spectrum();
+    payload.put_u32_le(spectrum.angles_deg().len() as u32);
+    for &a in spectrum.angles_deg() {
+        payload.put_f64_le(a);
+    }
+    for &v in spectrum.values() {
+        payload.put_f64_le(v);
+    }
+
+    // HMM + carried posterior.
+    for v in [
+        snapshot.hmm.absent.mean,
+        snapshot.hmm.absent.std,
+        snapshot.hmm.present.mean,
+        snapshot.hmm.present.std,
+        snapshot.hmm.stay_absent,
+        snapshot.hmm.stay_present,
+        snapshot.hmm.prior_present,
+        snapshot.hmm.llr_cap,
+        snapshot.posterior,
+    ] {
+        payload.put_f64_le(v);
+    }
+
+    // Sentinel.
+    payload.put_f64_le(snapshot.sentinel.baseline_mean);
+    payload.put_f64_le(snapshot.sentinel.baseline_std);
+    payload.put_f64_le(snapshot.sentinel.ewma);
+    payload.put_u8(snapshot.sentinel.state.as_u8());
+    payload.put_u32_le(snapshot.sentinel.above_enter);
+    payload.put_u32_le(snapshot.sentinel.below_exit);
+
+    // Supervision.
+    payload.put_u8(snapshot.mode.as_u8());
+    payload.put_u32_le(snapshot.retries);
+    payload.put_u64_le(snapshot.backoff_remaining);
+    payload.put_u32_le(snapshot.watchdog_strikes);
+
+    // Packet windows.
+    put_packets(&mut payload, &snapshot.reservoir, antennas, subcarriers);
+    put_packets(&mut payload, &snapshot.shadow, antennas, subcarriers);
+
+    let mut buf = BytesMut::with_capacity(22 + payload.len());
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u64_le(payload.len() as u64);
+    buf.put_slice(&payload);
+    let checksum = fnv1a(&buf);
+    buf.put_u64_le(checksum);
+    buf.freeze()
+}
+
+/// Bounds-checked little-endian reader over the payload.
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn need(&self, n: usize) -> Result<(), CheckpointError> {
+        if self.buf.remaining() < n {
+            return Err(CheckpointError::Truncated);
+        }
+        Ok(())
+    }
+
+    fn u8(&mut self) -> Result<u8, CheckpointError> {
+        self.need(1)?;
+        Ok(self.buf.get_u8())
+    }
+
+    fn u16(&mut self) -> Result<u16, CheckpointError> {
+        self.need(2)?;
+        Ok(self.buf.get_u16_le())
+    }
+
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        self.need(4)?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        self.need(8)?;
+        Ok(self.buf.get_u64_le())
+    }
+
+    fn f64(&mut self) -> Result<f64, CheckpointError> {
+        self.need(8)?;
+        Ok(self.buf.get_f64_le())
+    }
+}
+
+fn read_windows(
+    r: &mut Reader<'_>,
+    antennas: usize,
+    subcarriers: usize,
+) -> Result<Vec<Vec<CsiPacket>>, CheckpointError> {
+    let count = r.u32()? as usize;
+    // Each window needs at least one length field; a count larger than
+    // the remaining bytes is corruption, not an allocation request.
+    if count > r.buf.remaining() {
+        return Err(CheckpointError::Truncated);
+    }
+    let mut windows = Vec::with_capacity(count);
+    for _ in 0..count {
+        let n = r.u32()? as usize;
+        let per_packet = 16 + antennas * subcarriers * 16;
+        if n.saturating_mul(per_packet) > r.buf.remaining() {
+            return Err(CheckpointError::Truncated);
+        }
+        let mut w = Vec::with_capacity(n);
+        for _ in 0..n {
+            let seq = r.u64()?;
+            let timestamp = r.f64()?;
+            let mut data = Vec::with_capacity(antennas * subcarriers);
+            for _ in 0..antennas * subcarriers {
+                let re = r.f64()?;
+                let im = r.f64()?;
+                data.push(Complex64::new(re, im));
+            }
+            w.push(CsiPacket::new(antennas, subcarriers, data, seq, timestamp));
+        }
+        windows.push(w);
+    }
+    Ok(windows)
+}
+
+/// Deserializes a checkpoint byte image.
+///
+/// `config` supplies the deployment constants (angular gate) needed to
+/// re-derive the profile's path weights — restore must use the same
+/// [`DetectorConfig`] the session was calibrated with.
+///
+/// # Errors
+/// See [`CheckpointError`]; any single corrupted byte is caught by the
+/// trailing checksum.
+pub fn decode_snapshot(
+    data: &[u8],
+    config: &DetectorConfig,
+) -> Result<SessionSnapshot, CheckpointError> {
+    if data.len() < 22 {
+        return Err(CheckpointError::Truncated);
+    }
+    let (body, trailer) = data.split_at(data.len() - 8);
+    let stored = (&mut { trailer }).get_u64_le();
+    let computed = fnv1a(body);
+    if stored != computed {
+        return Err(CheckpointError::ChecksumMismatch { stored, computed });
+    }
+    let mut r = Reader { buf: body };
+    let mut magic = [0u8; 4];
+    r.need(4)?;
+    r.buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = r.u16()?;
+    if version != VERSION {
+        return Err(CheckpointError::UnsupportedVersion(version));
+    }
+    let paylen = r.u64()? as usize;
+    if paylen != r.buf.remaining() {
+        return Err(CheckpointError::Truncated);
+    }
+
+    let cursor = r.u64()?;
+    let threshold = r.f64()?;
+
+    let antennas = r.u16()? as usize;
+    let subcarriers = r.u16()? as usize;
+    if antennas == 0 || subcarriers == 0 {
+        return Err(CheckpointError::Corrupt(
+            "profile declares an empty shape".to_string(),
+        ));
+    }
+    let mut static_amplitude = Vec::with_capacity(antennas);
+    for _ in 0..antennas {
+        let mut row = Vec::with_capacity(subcarriers);
+        for _ in 0..subcarriers {
+            row.push(r.f64()?);
+        }
+        static_amplitude.push(row);
+    }
+    let mut static_power = Vec::with_capacity(subcarriers);
+    for _ in 0..subcarriers {
+        static_power.push(r.f64()?);
+    }
+    let mut static_covariances = Vec::with_capacity(subcarriers);
+    for _ in 0..subcarriers {
+        let mut entries = Vec::with_capacity(antennas * antennas);
+        for _ in 0..antennas * antennas {
+            let re = r.f64()?;
+            let im = r.f64()?;
+            entries.push(Complex64::new(re, im));
+        }
+        static_covariances.push(CMatrix::from_rows(antennas, antennas, &entries));
+    }
+    let grid_len = r.u32()? as usize;
+    if grid_len == 0 || grid_len.saturating_mul(16) > r.buf.remaining() {
+        return Err(CheckpointError::Truncated);
+    }
+    let mut angles = Vec::with_capacity(grid_len);
+    for _ in 0..grid_len {
+        angles.push(r.f64()?);
+    }
+    let mut values = Vec::with_capacity(grid_len);
+    for _ in 0..grid_len {
+        values.push(r.f64()?);
+    }
+    let static_spectrum = Pseudospectrum::new(angles, values);
+    let profile = CalibrationProfile::from_parts(
+        antennas,
+        subcarriers,
+        static_amplitude,
+        static_power,
+        static_covariances,
+        static_spectrum,
+        config,
+    )?;
+
+    let absent_mean = r.f64()?;
+    let absent_std = r.f64()?;
+    let present_mean = r.f64()?;
+    let present_std = r.f64()?;
+    let stay_absent = r.f64()?;
+    let stay_present = r.f64()?;
+    let prior_present = r.f64()?;
+    let llr_cap = r.f64()?;
+    if absent_std <= 0.0 || present_std <= 0.0 || absent_std.is_nan() || present_std.is_nan() {
+        return Err(CheckpointError::Corrupt(
+            "HMM emission std is not positive".to_string(),
+        ));
+    }
+    let hmm = HmmSmoother {
+        absent: Gaussian {
+            mean: absent_mean,
+            std: absent_std,
+        },
+        present: Gaussian {
+            mean: present_mean,
+            std: present_std,
+        },
+        stay_absent,
+        stay_present,
+        prior_present,
+        llr_cap,
+    };
+    let posterior = r.f64()?;
+
+    let baseline_mean = r.f64()?;
+    let baseline_std = r.f64()?;
+    let ewma = r.f64()?;
+    let state_tag = r.u8()?;
+    let state = DriftState::from_u8(state_tag)
+        .ok_or_else(|| CheckpointError::Corrupt(format!("unknown drift state tag {state_tag}")))?;
+    let above_enter = r.u32()?;
+    let below_exit = r.u32()?;
+    let sentinel = SentinelSnapshot {
+        baseline_mean,
+        baseline_std,
+        ewma,
+        state,
+        above_enter,
+        below_exit,
+    };
+
+    let mode_tag = r.u8()?;
+    let mode = SessionMode::from_u8(mode_tag)
+        .ok_or_else(|| CheckpointError::Corrupt(format!("unknown session mode tag {mode_tag}")))?;
+    let retries = r.u32()?;
+    let backoff_remaining = r.u64()?;
+    let watchdog_strikes = r.u32()?;
+
+    let reservoir = read_windows(&mut r, antennas, subcarriers)?;
+    let shadow = read_windows(&mut r, antennas, subcarriers)?;
+    if r.buf.remaining() != 0 {
+        return Err(CheckpointError::Corrupt(format!(
+            "{} trailing bytes after payload",
+            r.buf.remaining()
+        )));
+    }
+
+    Ok(SessionSnapshot {
+        cursor,
+        threshold,
+        profile,
+        hmm,
+        posterior,
+        sentinel,
+        mode,
+        retries,
+        backoff_remaining,
+        watchdog_strikes,
+        reservoir,
+        shadow,
+    })
+}
+
+/// Crash-safe checkpoint file handling: atomic write-rename plus a
+/// retained previous-good file for corruption fallback.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    path: PathBuf,
+}
+
+impl CheckpointStore {
+    /// Binds a store to a checkpoint path. `<path>.tmp` and `<path>.bak`
+    /// siblings are used for staging and the previous good checkpoint.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        CheckpointStore { path: path.into() }
+    }
+
+    /// The main checkpoint path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn sibling(&self, suffix: &str) -> PathBuf {
+        let mut name = self.path.as_os_str().to_os_string();
+        name.push(suffix);
+        PathBuf::from(name)
+    }
+
+    /// Whether a checkpoint (main or previous-good) exists on disk.
+    pub fn exists(&self) -> bool {
+        self.path.exists() || self.sibling(".bak").exists()
+    }
+
+    /// Atomically saves a snapshot: the image is written to `<path>.tmp`,
+    /// the current checkpoint (if any) is retained as `<path>.bak`, and
+    /// the temp file is renamed into place. A crash at any point leaves
+    /// either the old or the new checkpoint loadable.
+    ///
+    /// # Errors
+    /// Propagates I/O failures.
+    pub fn save(&self, snapshot: &SessionSnapshot) -> Result<(), CheckpointError> {
+        let _stage = mpdf_obs::stage!("session.checkpoint");
+        let bytes = encode_snapshot(snapshot);
+        let tmp = self.sibling(".tmp");
+        std::fs::write(&tmp, &bytes)?;
+        if self.path.exists() {
+            std::fs::rename(&self.path, self.sibling(".bak"))?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        mpdf_obs::counter!("session.checkpoint_writes_total").inc();
+        Ok(())
+    }
+
+    /// Loads the most recent good checkpoint: the main file first, and on
+    /// corruption/truncation (or a missing main file) the previous good
+    /// `.bak`. Returns the *primary* error when both fail to decode.
+    ///
+    /// # Errors
+    /// See [`CheckpointError`]. A missing store (neither file exists)
+    /// surfaces as [`CheckpointError::Io`] with `NotFound`.
+    pub fn load(&self, config: &DetectorConfig) -> Result<SessionSnapshot, CheckpointError> {
+        let primary = match std::fs::read(&self.path) {
+            Ok(data) => match decode_snapshot(&data, config) {
+                Ok(snap) => {
+                    mpdf_obs::counter!("session.checkpoint_restores_total").inc();
+                    return Ok(snap);
+                }
+                Err(e) => e,
+            },
+            Err(e) => CheckpointError::Io(e),
+        };
+        match std::fs::read(self.sibling(".bak")) {
+            Ok(data) => match decode_snapshot(&data, config) {
+                Ok(snap) => {
+                    mpdf_obs::counter!("session.checkpoint_fallbacks_total").inc();
+                    mpdf_obs::counter!("session.checkpoint_restores_total").inc();
+                    Ok(snap)
+                }
+                Err(_) => Err(primary),
+            },
+            Err(_) => Err(primary),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::{RecalPolicy, SessionConfig, SessionRuntime};
+    use mpdf_core::scheme::SubcarrierWeighting;
+    use mpdf_geom::shapes::Rect;
+    use mpdf_geom::vec2::Vec2;
+    use mpdf_propagation::channel::ChannelModel;
+    use mpdf_propagation::environment::Environment;
+    use mpdf_wifi::receiver::CsiReceiver;
+
+    fn runtime() -> SessionRuntime<SubcarrierWeighting> {
+        let env = Environment::empty_room(Rect::new(Vec2::ZERO, Vec2::new(8.0, 6.0)));
+        let link = ChannelModel::new(env, Vec2::new(2.0, 3.0), Vec2::new(6.0, 3.0)).unwrap();
+        let mut rx = CsiReceiver::new(link, 31).unwrap();
+        let calibration = rx.capture_static(None, 200).unwrap();
+        let session = SessionConfig {
+            recalibration: RecalPolicy {
+                enabled: true,
+                ..RecalPolicy::default()
+            },
+            ..SessionConfig::default()
+        };
+        SessionRuntime::calibrate(
+            &calibration,
+            SubcarrierWeighting,
+            DetectorConfig::default(),
+            session,
+        )
+        .unwrap()
+    }
+
+    fn snapshot() -> SessionSnapshot {
+        runtime().snapshot()
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_is_exact() {
+        let snap = snapshot();
+        let bytes = encode_snapshot(&snap);
+        let decoded = decode_snapshot(&bytes, &DetectorConfig::default()).unwrap();
+        assert_eq!(decoded, snap);
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_typed() {
+        let snap = snapshot();
+        let mut bytes = encode_snapshot(&snap).to_vec();
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] = b'X';
+        // Checksum catches the flip first (it covers the magic); fixing
+        // the checksum reveals the magic check.
+        let body_len = wrong_magic.len() - 8;
+        let fixed = fnv1a(&wrong_magic[..body_len]).to_le_bytes();
+        wrong_magic[body_len..].copy_from_slice(&fixed);
+        assert!(matches!(
+            decode_snapshot(&wrong_magic, &DetectorConfig::default()),
+            Err(CheckpointError::BadMagic)
+        ));
+        bytes[4] = 9;
+        let body_len = bytes.len() - 8;
+        let fixed = fnv1a(&bytes[..body_len]).to_le_bytes();
+        bytes[body_len..].copy_from_slice(&fixed);
+        assert!(matches!(
+            decode_snapshot(&bytes, &DetectorConfig::default()),
+            Err(CheckpointError::UnsupportedVersion(9))
+        ));
+    }
+
+    #[test]
+    fn any_single_byte_corruption_is_a_checksum_mismatch() {
+        let snap = snapshot();
+        let bytes = encode_snapshot(&snap).to_vec();
+        // Probe a spread of positions including the trailer.
+        let step = (bytes.len() / 37).max(1);
+        for i in (0..bytes.len()).step_by(step) {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x5a;
+            assert!(
+                matches!(
+                    decode_snapshot(&corrupt, &DetectorConfig::default()),
+                    Err(CheckpointError::ChecksumMismatch { .. })
+                ),
+                "byte {i} corruption not caught"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let snap = snapshot();
+        let bytes = encode_snapshot(&snap);
+        for cut in [0usize, 10, 21, bytes.len() / 2, bytes.len() - 1] {
+            let err = decode_snapshot(&bytes[..cut], &DetectorConfig::default()).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CheckpointError::Truncated | CheckpointError::ChecksumMismatch { .. }
+                ),
+                "cut {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn store_saves_atomically_and_falls_back_to_previous_good() {
+        let dir =
+            std::env::temp_dir().join(format!("mpdf_ckpt_test_{}_{}", std::process::id(), line!()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = CheckpointStore::new(dir.join("session.ckpt"));
+        let cfg = DetectorConfig::default();
+
+        assert!(!store.exists());
+        assert!(matches!(
+            store.load(&cfg),
+            Err(CheckpointError::Io(ref e)) if e.kind() == std::io::ErrorKind::NotFound
+        ));
+
+        let mut rt = runtime();
+        let first = rt.snapshot();
+        store.save(&first).unwrap();
+        assert!(store.exists());
+        assert_eq!(store.load(&cfg).unwrap(), first);
+
+        // Second save retains the first as previous-good.
+        rt.step(&[]).unwrap_or_else(|_| unreachable!());
+        let second = rt.snapshot();
+        store.save(&second).unwrap();
+        assert_eq!(store.load(&cfg).unwrap(), second);
+
+        // Corrupt the main file: load falls back to the previous good.
+        let mut data = std::fs::read(store.path()).unwrap();
+        let mid = data.len() / 2;
+        data[mid] ^= 0xff;
+        std::fs::write(store.path(), &data).unwrap();
+        assert_eq!(store.load(&cfg).unwrap(), first);
+
+        // Corrupt the backup too: the primary (typed) error surfaces.
+        let bak = store.sibling(".bak");
+        std::fs::write(&bak, b"garbage").unwrap();
+        assert!(matches!(
+            store.load(&cfg),
+            Err(CheckpointError::ChecksumMismatch { .. })
+        ));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for the checkpoint codec: clean round-trips are exact
+//! (restored detectors score to 0 ULP of the original), and any
+//! single-byte corruption anywhere in the file is caught by the trailing
+//! checksum as a typed error.
+
+use proptest::prelude::*;
+
+use mpdf_core::profile::DetectorConfig;
+use mpdf_core::scheme::SubcarrierWeighting;
+use mpdf_geom::shapes::Rect;
+use mpdf_geom::vec2::Vec2;
+use mpdf_propagation::channel::ChannelModel;
+use mpdf_propagation::environment::Environment;
+use mpdf_session::checkpoint::{decode_snapshot, encode_snapshot, CheckpointError};
+use mpdf_session::runtime::{RecalPolicy, SessionConfig, SessionRuntime};
+use mpdf_wifi::receiver::CsiReceiver;
+
+fn session_cfg() -> SessionConfig {
+    SessionConfig {
+        recalibration: RecalPolicy {
+            enabled: true,
+            shadow_windows: 4,
+            ..RecalPolicy::default()
+        },
+        reservoir_windows: 4,
+        ..SessionConfig::default()
+    }
+}
+
+/// A runtime with `steps` windows of live state (posterior, sentinel
+/// EWMA, reservoir contents all non-trivial).
+fn runtime(seed: u64, steps: u64) -> (SessionRuntime<SubcarrierWeighting>, CsiReceiver) {
+    let env = Environment::empty_room(Rect::new(Vec2::ZERO, Vec2::new(8.0, 6.0)));
+    let link = ChannelModel::new(env, Vec2::new(2.0, 3.0), Vec2::new(6.0, 3.0)).unwrap();
+    let mut rx = CsiReceiver::new(link, seed).unwrap();
+    let calibration = rx.capture_static(None, 150).unwrap();
+    let mut rt = SessionRuntime::calibrate(
+        &calibration,
+        SubcarrierWeighting,
+        DetectorConfig::default(),
+        session_cfg(),
+    )
+    .unwrap();
+    for _ in 0..steps {
+        let win = rx.capture_static(None, 25).unwrap();
+        rt.step(&win).unwrap();
+    }
+    (rt, rx)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn clean_roundtrip_restores_to_zero_ulp(seed in 0u64..1_000, steps in 0u64..4) {
+        let (rt, mut rx) = runtime(seed, steps);
+        let snap = rt.snapshot();
+        let bytes = encode_snapshot(&snap);
+        let config = DetectorConfig::default();
+        let decoded = decode_snapshot(&bytes, &config).unwrap();
+        prop_assert_eq!(&decoded, &snap);
+        let restored = SessionRuntime::from_snapshot(
+            decoded,
+            SubcarrierWeighting,
+            config,
+            session_cfg(),
+        )
+        .unwrap();
+        // The restored detector scores fresh windows bit-identically.
+        for _ in 0..2 {
+            let probe = rx.capture_static(None, 25).unwrap();
+            let a = rt.detector().decide(&probe).unwrap();
+            let b = restored.detector().decide(&probe).unwrap();
+            prop_assert_eq!(a.score.to_bits(), b.score.to_bits());
+            prop_assert_eq!(a.detected, b.detected);
+        }
+        prop_assert_eq!(restored.posterior().to_bits(), rt.posterior().to_bits());
+        prop_assert_eq!(restored.threshold().to_bits(), rt.threshold().to_bits());
+    }
+
+    #[test]
+    fn single_byte_corruption_is_always_a_checksum_error(
+        seed in 0u64..1_000,
+        pos in 0usize..1_000_000,
+        xor in 1u8..=255,
+    ) {
+        let (rt, _rx) = runtime(seed, 1);
+        let mut bytes = encode_snapshot(&rt.snapshot()).to_vec();
+        let idx = pos % bytes.len();
+        bytes[idx] ^= xor;
+        let err = decode_snapshot(&bytes, &DetectorConfig::default()).unwrap_err();
+        prop_assert!(
+            matches!(err, CheckpointError::ChecksumMismatch { .. }),
+            "byte {} xor {:#04x}: expected checksum mismatch, got {}",
+            idx,
+            xor,
+            err
+        );
+    }
+}

@@ -169,6 +169,34 @@ impl CsiReceiver {
         rx
     }
 
+    /// Like [`CsiReceiver::fork`], but *preserves* the parent's session
+    /// drift state (clutter path, flat gain drift, interferer centre)
+    /// while still resetting the RNG stream, fault state, clock and
+    /// sequence counter. A long-running session resamples drift once per
+    /// session block and then captures every window of that block on a
+    /// `fork_with_drift` keyed by the window index — each window stays a
+    /// pure function of `(link, block drift, seed)` so kill-and-restore
+    /// replays bit-identically, while all windows of a block share the
+    /// same slowly-moving environment.
+    pub fn fork_with_drift(&self, seed: u64) -> CsiReceiver {
+        let mut rx = self.clone();
+        rx.rng = SmallRng::seed_from_u64(seed);
+        rx.faults.reset(seed);
+        rx.seq = 0;
+        rx.time = 0.0;
+        rx
+    }
+
+    /// Overrides the drift magnitudes used by the *next*
+    /// [`CsiReceiver::resample_drift`] call: relative clutter-path
+    /// amplitude and peak flat gain drift in dB. Lets a drift experiment
+    /// grow the environment's wander over session blocks without
+    /// rebuilding the receiver (which would re-derive gains).
+    pub fn set_drift_magnitude(&mut self, clutter_drift_rel: f64, session_gain_drift_db: f64) {
+        self.config.clutter_drift_rel = clutter_drift_rel;
+        self.config.session_gain_drift_db = session_gain_drift_db;
+    }
+
     /// Resamples the session clutter drift: one weak extra path with
     /// random delay (10–80 ns), arrival angle (±75°) and phase, at the
     /// configured relative amplitude. Call between "sessions" (e.g.
@@ -528,6 +556,45 @@ mod tests {
         assert_eq!(a, b);
         let c = rx.fork(43).capture_static(None, 3).unwrap();
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn fork_with_drift_preserves_session_state() {
+        let mut rx = CsiReceiver::with_config(link(), ideal_config(), 7).unwrap();
+        rx.resample_drift();
+        // Plain fork zeroes the drift; the drift-preserving fork keeps it,
+        // so the two see different channels.
+        let plain = rx.fork(5).capture_static(None, 1).unwrap();
+        let drifted = rx.fork_with_drift(5).capture_static(None, 1).unwrap();
+        assert_ne!(plain, drifted, "drift state must survive the fork");
+        // Determinism: same seed, same parent drift → identical capture.
+        let again = rx.fork_with_drift(5).capture_static(None, 1).unwrap();
+        assert_eq!(drifted, again);
+        // Clock and sequence still reset.
+        let f = rx.fork_with_drift(5);
+        assert_eq!(f.clock(), 0.0);
+    }
+
+    #[test]
+    fn drift_magnitude_override_takes_effect() {
+        let rx = CsiReceiver::with_config(link(), ideal_config(), 7).unwrap();
+        let clean = rx.fork(3).capture_static(None, 1).unwrap();
+        let mut big = rx.fork(3);
+        big.set_drift_magnitude(0.5, 0.0);
+        big.resample_drift();
+        let drifted = big.capture_static(None, 1).unwrap();
+        let mut delta = 0.0;
+        for a in 0..3 {
+            for k in 0..30 {
+                delta += (clean[0].get(a, k) - drifted[0].get(a, k)).norm_sqr();
+            }
+        }
+        assert!(delta > 1e-4, "scaled drift must perturb CSI, delta={delta}");
+        // Zero magnitude resamples to a zero drift path.
+        let mut none = rx.fork(3);
+        none.set_drift_magnitude(0.0, 0.0);
+        none.resample_drift();
+        assert_eq!(none.capture_static(None, 1).unwrap(), clean);
     }
 
     #[test]

@@ -57,6 +57,10 @@ fn seeded_violations_are_each_detected() {
             "crates/wifi/src/lib.rs:10: [no-panic]",
             "expect in the fault path",
         ),
+        (
+            "crates/session/src/lib.rs:11: [no-panic]",
+            "expect on the checkpoint header",
+        ),
     ];
     for (needle, what) in expected {
         assert!(
@@ -69,8 +73,8 @@ fn seeded_violations_are_each_detected() {
     // binary entry point and the #[cfg(test)] module must stay quiet.
     // (crate-root-attrs fires once per missing attribute.)
     assert!(
-        stdout.contains("xtask lint: 9 violation(s)"),
-        "exactly the 9 seeded violations should fire:\n{stdout}"
+        stdout.contains("xtask lint: 10 violation(s)"),
+        "exactly the 10 seeded violations should fire:\n{stdout}"
     );
     assert!(
         !stdout.contains("bin/tool.rs"),

@@ -1,0 +1,20 @@
+//! Fixture session crate: proves the lint walker covers the supervised
+//! session layer — one planted `no-panic` violation (a checkpoint
+//! header `expect`) and one annotated escape hatch that must stay
+//! quiet.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Reads the checkpoint cursor, panicking on short input.
+pub fn restore_cursor(bytes: &[u8]) -> u64 {
+    let head: [u8; 8] = bytes[..8].try_into().expect("checkpoint header");
+    u64::from_le_bytes(head)
+}
+
+/// Reads the checkpoint cursor behind a vetted escape hatch.
+pub fn restore_cursor_checked(bytes: &[u8]) -> u64 {
+    // lint: allow(no-panic) — fixture: length pre-validated by the store
+    let head: [u8; 8] = bytes[..8].try_into().expect("checkpoint header");
+    u64::from_le_bytes(head)
+}

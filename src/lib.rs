@@ -54,6 +54,7 @@ pub use mpdf_geom as geom;
 pub use mpdf_music as music;
 pub use mpdf_propagation as propagation;
 pub use mpdf_rfmath as rfmath;
+pub use mpdf_session as session;
 pub use mpdf_wifi as wifi;
 
 /// One-stop imports for the common pipeline.
@@ -69,5 +70,6 @@ pub mod prelude {
     pub use mpdf_propagation::environment::Environment;
     pub use mpdf_propagation::human::HumanBody;
     pub use mpdf_propagation::material::Material;
+    pub use mpdf_session::runtime::{SessionConfig, SessionRuntime};
     pub use mpdf_wifi::receiver::{Actor, CsiReceiver, ReceiverConfig};
 }

@@ -109,10 +109,7 @@ impl BenchmarkGroup {
         } else {
             bencher.elapsed_ns as f64 / bencher.iterations as f64
         };
-        println!(
-            "  {id}: {:.0} ns/iter ({} iters)",
-            mean, bencher.iterations
-        );
+        println!("  {id}: {:.0} ns/iter ({} iters)", mean, bencher.iterations);
         let full_name = if self.name.is_empty() {
             id.to_string()
         } else {

@@ -501,22 +501,16 @@ mod tests {
     #[test]
     fn failing_property_panics_with_case_info() {
         let result = std::panic::catch_unwind(|| {
-            crate::test_runner::run_named(
-                "always_fails",
-                &ProptestConfig::with_cases(4),
-                |_rng| {
-                    Err(crate::test_runner::TestCaseError::fail(
-                        "boom".to_owned(),
-                    ))
-                },
-            );
+            crate::test_runner::run_named("always_fails", &ProptestConfig::with_cases(4), |_rng| {
+                Err(crate::test_runner::TestCaseError::fail("boom".to_owned()))
+            });
         });
         let err = result.expect_err("property should fail");
-        let msg = err
-            .downcast_ref::<String>()
-            .cloned()
-            .unwrap_or_default();
-        assert!(msg.contains("always_fails") && msg.contains("boom"), "{msg}");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains("always_fails") && msg.contains("boom"),
+            "{msg}"
+        );
     }
 
     #[test]
