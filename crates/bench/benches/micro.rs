@@ -166,11 +166,27 @@ fn bench_obs(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_xtask(c: &mut Criterion) {
+    let mut g = c.benchmark_group("xtask");
+    // Full-workspace static analysis: lex every first-party file and run
+    // all fifteen rules. This is the pre-commit/CI latency developers
+    // actually feel, so it is pinned alongside the pipeline numbers.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    g.bench_function("lint_workspace_full", |b| {
+        b.iter(|| black_box(xtask::lint::lint_workspace(black_box(root)).unwrap()));
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_numerics,
     bench_physics,
     bench_detection,
-    bench_obs
+    bench_obs,
+    bench_xtask
 );
 criterion_main!(benches);

@@ -80,6 +80,10 @@ fn panic_message(payload: &(dyn Any + Send)) -> String {
 /// Number of worker threads the machine supports; falls back to 1 when
 /// the parallelism degree cannot be queried.
 pub fn available_threads() -> usize {
+    // Sizing default only: pool results are thread-count-invariant
+    // (pinned by tests/determinism.rs), so the queried degree can never
+    // influence what the pool computes.
+    // lint: allow(det-thread-id) — sizing default; output is thread-count-invariant
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
@@ -229,9 +233,11 @@ where
             });
         }
         for i in 0..n {
+            // Backpressure: the queue is bounded to 2× the worker count
+            // and push blocks until a worker frees a slot. Disconnect: a
+            // panicking worker closes the queue, push returns Err, and
+            // we stop feeding so the collection phase can surface it.
             if work.push(i).is_err() {
-                // A worker panicked and closed the queue; stop feeding
-                // and let the collection phase surface the panic.
                 break;
             }
         }

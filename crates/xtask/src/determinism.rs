@@ -1,0 +1,257 @@
+//! Determinism taint analysis for result-affecting crates.
+//!
+//! Every campaign, instrumented run and checkpoint restore in this repo
+//! is pinned by a bit-identity equivalence test; those tests only stay
+//! green if the code they cover is *structurally* deterministic. This
+//! pass bans the ambient-nondeterminism sources that survive code review
+//! most often, in the crates whose output feeds the paper's Eq. 12–15
+//! scoring:
+//!
+//! - `det-unordered` — `HashMap`/`HashSet` (and `RandomState` /
+//!   `DefaultHasher`): iteration order is randomized per process, so any
+//!   iteration, debug-format or fold over one is a silent reproducibility
+//!   break. Use `BTreeMap`/`BTreeSet` or sort before iterating.
+//! - `det-wall-clock` — `Instant`/`SystemTime`/`UNIX_EPOCH`: wall-clock
+//!   reads differ per run.
+//! - `det-thread-id` — `thread::current()`/`ThreadId`/
+//!   `available_parallelism`: results must not depend on which or how
+//!   many threads execute.
+//! - `det-unseeded-rng` — `thread_rng`/`from_entropy`/`OsRng`/
+//!   `rand::random`: every RNG stream must derive from an explicit seed.
+//!
+//! Findings are suppressed per-line with `// lint: allow(<rule>) — why`,
+//! which is the mechanism for the rare site that is nondeterminism-safe
+//! by construction (e.g. a thread-count default whose output is pinned
+//! bit-identical by an equivalence test).
+
+use std::path::Path;
+
+use crate::lexer::{SourceFile, TokenKind};
+use crate::report::{Rule, Violation};
+use crate::rules::{emit, FileCtx};
+
+/// Crates whose code can influence scientific results: everything from
+/// raw math to session supervision, including the parallel layer (job
+/// ordering) — but not `obs` (observability is proven byte-neutral by
+/// the obs-equivalence test), `eval`'s CLI surface, or `bench`/`xtask`.
+pub const RESULT_CRATES: &[&str] = &[
+    "rfmath",
+    "music",
+    "core",
+    "propagation",
+    "wifi",
+    "session",
+    "par",
+];
+
+/// Idents that indicate a randomized-order collection.
+const UNORDERED_TYPES: &[&str] = &["HashMap", "HashSet", "RandomState", "DefaultHasher"];
+/// Idents that read the wall clock.
+const WALL_CLOCK_TYPES: &[&str] = &["Instant", "SystemTime", "UNIX_EPOCH"];
+/// Idents tying behaviour to thread identity or ambient parallelism.
+const THREAD_ID_IDENTS: &[&str] = &["ThreadId", "available_parallelism"];
+/// Idents constructing RNGs from ambient entropy.
+const UNSEEDED_RNG_IDENTS: &[&str] = &["thread_rng", "from_entropy", "OsRng", "EntropyRng"];
+
+/// Runs the determinism taint pass. No-op outside [`RESULT_CRATES`].
+pub fn check(file: &SourceFile, rel: &Path, ctx: FileCtx<'_>, out: &mut Vec<Violation>) {
+    if !RESULT_CRATES.contains(&ctx.crate_name) {
+        return;
+    }
+    let toks = &file.tokens;
+    // One finding per (rule, line): a `use` plus a constructor call on
+    // the same line is one defect, not two.
+    let mut last: [(Rule, u32); 4] = [
+        (Rule::DetUnordered, 0),
+        (Rule::DetWallClock, 0),
+        (Rule::DetThreadId, 0),
+        (Rule::DetUnseededRng, 0),
+    ];
+    let mut fire = |i: usize, rule: Rule, msg: String, out: &mut Vec<Violation>| {
+        let line = toks[i].line;
+        if let Some(slot) = last.iter_mut().find(|(r, _)| *r == rule) {
+            if slot.1 == line {
+                return;
+            }
+            slot.1 = line;
+        }
+        emit(file, rel, &toks[i], rule, msg, out);
+    };
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident || file.in_test(t.line) {
+            continue;
+        }
+        let name = t.text.as_str();
+        if UNORDERED_TYPES.contains(&name) {
+            fire(
+                i,
+                Rule::DetUnordered,
+                format!(
+                    "`{name}` in a result-affecting crate — iteration order is \
+                     randomized per process; use `BTreeMap`/`BTreeSet` or sort \
+                     before iterating"
+                ),
+                out,
+            );
+        } else if WALL_CLOCK_TYPES.contains(&name) {
+            fire(
+                i,
+                Rule::DetWallClock,
+                format!(
+                    "`{name}` in a result-affecting crate — wall-clock reads \
+                     differ per run; derive timing from packet/window indices \
+                     or move it behind `mpdf-obs`"
+                ),
+                out,
+            );
+        } else if THREAD_ID_IDENTS.contains(&name) || is_thread_current(toks, i) {
+            let shown = if is_thread_current(toks, i) {
+                "thread::current"
+            } else {
+                name
+            };
+            fire(
+                i,
+                Rule::DetThreadId,
+                format!(
+                    "`{shown}` in a result-affecting crate — results must be \
+                     independent of thread identity and ambient parallelism; \
+                     plumb an explicit parameter instead"
+                ),
+                out,
+            );
+        } else if UNSEEDED_RNG_IDENTS.contains(&name) || is_rand_random(toks, i) {
+            let shown = if is_rand_random(toks, i) {
+                "rand::random"
+            } else {
+                name
+            };
+            fire(
+                i,
+                Rule::DetUnseededRng,
+                format!(
+                    "`{shown}` in a result-affecting crate — construct RNGs from \
+                     an explicit seed (`seed_from_u64`/`from_seed`) so streams \
+                     replay bit-identically"
+                ),
+                out,
+            );
+        }
+    }
+}
+
+/// Matches the `thread::current` path at the `thread` token.
+fn is_thread_current(toks: &[crate::lexer::Token], i: usize) -> bool {
+    toks[i].is_ident("thread")
+        && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        && toks.get(i + 3).is_some_and(|t| t.is_ident("current"))
+}
+
+/// Matches the `rand::random` path at the `rand` token.
+fn is_rand_random(toks: &[crate::lexer::Token], i: usize) -> bool {
+    toks[i].is_ident("rand")
+        && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        && toks.get(i + 3).is_some_and(|t| t.is_ident("random"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::check;
+    use crate::lexer::SourceFile;
+    use crate::report::Rule;
+    use crate::rules::FileCtx;
+    use std::path::Path;
+
+    fn rules_of(source: &str, crate_name: &'static str) -> Vec<Rule> {
+        let file = SourceFile::lex(source);
+        let mut out = Vec::new();
+        let ctx = FileCtx {
+            crate_name,
+            is_library: true,
+            is_crate_root: false,
+        };
+        check(&file, Path::new("x.rs"), ctx, &mut out);
+        out.into_iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn unordered_collections_fire_once_per_line() {
+        let src = "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, f64> = HashMap::new(); drop(m); }\n";
+        assert_eq!(
+            rules_of(src, "core"),
+            vec![Rule::DetUnordered, Rule::DetUnordered],
+            "one per line, not one per mention"
+        );
+    }
+
+    #[test]
+    fn wall_clock_thread_id_and_rng_fire() {
+        assert_eq!(
+            rules_of("fn f() { let t = Instant::now(); drop(t); }\n", "wifi"),
+            vec![Rule::DetWallClock]
+        );
+        assert_eq!(
+            rules_of(
+                "fn f() { let t = SystemTime::now(); drop(t); }\n",
+                "session"
+            ),
+            vec![Rule::DetWallClock]
+        );
+        assert_eq!(
+            rules_of(
+                "fn f() -> u64 { std::thread::current().id().as_u64() }\n",
+                "par"
+            ),
+            vec![Rule::DetThreadId]
+        );
+        assert_eq!(
+            rules_of(
+                "fn f() -> usize { std::thread::available_parallelism().map_or(1, |n| n.get()) }\n",
+                "par"
+            ),
+            vec![Rule::DetThreadId]
+        );
+        assert_eq!(
+            rules_of(
+                "fn f() { let mut r = rand::thread_rng(); let _x: f64 = r.gen(); }\n",
+                "propagation"
+            ),
+            vec![Rule::DetUnseededRng]
+        );
+        assert_eq!(
+            rules_of("fn f() -> f64 { rand::random() }\n", "rfmath"),
+            vec![Rule::DetUnseededRng]
+        );
+    }
+
+    #[test]
+    fn non_result_crates_tests_strings_and_btrees_are_exempt() {
+        // obs and eval are outside the taint scope.
+        assert!(rules_of("fn f() { let t = Instant::now(); drop(t); }\n", "obs").is_empty());
+        assert!(rules_of("use std::collections::HashMap;\n", "eval").is_empty());
+        // #[cfg(test)] modules may use whatever they like.
+        let test_mod =
+            "#[cfg(test)]\nmod tests {\n use std::collections::HashSet;\n fn t() { let s: HashSet<u8> = HashSet::new(); drop(s); }\n}\n";
+        assert!(rules_of(test_mod, "core").is_empty());
+        // Mentions inside strings or comments never fire.
+        assert!(rules_of(
+            "// HashMap is banned here\nfn f() { let s = \"Instant::now\"; drop(s); }\n",
+            "core"
+        )
+        .is_empty());
+        // Ordered collections and seeded RNGs are the sanctioned tools.
+        let clean = "use std::collections::BTreeMap;\nfn f() { let mut r = SmallRng::seed_from_u64(7); let _ = r.next_u64(); }\n";
+        assert!(rules_of(clean, "core").is_empty());
+    }
+
+    #[test]
+    fn escape_hatch_suppresses_with_reason() {
+        let src = "fn workers() -> usize {\n    // lint: allow(det-thread-id) — default only; output is thread-count-invariant\n    std::thread::available_parallelism().map_or(1, |n| n.get())\n}\n";
+        assert!(rules_of(src, "par").is_empty());
+        let bare = "fn workers() -> usize {\n    // lint: allow(det-thread-id)\n    std::thread::available_parallelism().map_or(1, |n| n.get())\n}\n";
+        assert_eq!(rules_of(bare, "par"), vec![Rule::DetThreadId]);
+    }
+}

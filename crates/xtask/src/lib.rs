@@ -1,0 +1,29 @@
+//! Workspace automation library behind the `cargo xtask` binary.
+//!
+//! The core is a std-only static-analysis suite for the repo's
+//! first-party Rust source: a string/comment-aware lexer
+//! ([`lexer`]), token-stream navigation helpers ([`stream`]), and four
+//! rule families — the original safety/unit policies ([`rules`]),
+//! determinism taint ([`determinism`]), the concurrency audit
+//! ([`concurrency`]) and the metrics/obs contract ([`metrics`]) — all
+//! orchestrated by [`lint`] and reported through [`report`] (human
+//! lines or the `--json` machine report).
+//!
+//! It is a library (not just a binary) so `crates/bench` can measure
+//! full-workspace lint wall time, and so fixture tests can drive the
+//! engine in-process.
+//!
+//! Everything is std-only: the xtask gate must build and run in the
+//! fully offline build container with no crate registry.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod concurrency;
+pub mod determinism;
+pub mod lexer;
+pub mod lint;
+pub mod metrics;
+pub mod report;
+pub mod rules;
+pub mod stream;

@@ -1,27 +1,22 @@
-//! Repo-specific lint rules enforced by `cargo xtask lint`.
+//! Lint engine: walks the workspace's first-party source trees, lexes
+//! every file once ([`crate::lexer`]), and runs all rule passes over the
+//! shared token stream.
 //!
 //! These complement `clippy` (configured through `[workspace.lints]` in
 //! the root manifest) with policies clippy cannot express for this
-//! codebase. Detection here rides on sub-dB per-subcarrier RSS changes,
-//! so the rules target the failure modes that silently flip presence
-//! verdicts: panics on unexpected input, NaN-swallowing float ordering,
-//! precision-losing casts inside numeric kernels, and unit confusion
-//! between dB and linear power.
-//!
-//! ## Rules
-//!
-//! | name | scope | policy |
-//! |---|---|---|
-//! | `no-panic` | library code | no `unwrap()` / `expect()` / `panic!` / `todo!` / `unimplemented!` |
-//! | `nan-ordering` | all first-party code | no `partial_cmp(..).unwrap()` / `unwrap_or(Ordering::Equal)`; use `total_cmp` |
-//! | `lossy-cast` | numeric kernels (`rfmath`, `music`, `propagation`) | no undocumented narrowing / float→int `as` casts |
-//! | `crate-root-attrs` | crate roots | must carry `#![forbid(unsafe_code)]` and `#![warn(missing_docs)]` |
-//! | `db-linear` | all first-party code | no `*`/`/` arithmetic mixing `_db`/`_dbm` identifiers with linear-power identifiers |
-//! | `no-raw-stderr` | library code | no `println!`/`eprintln!` (and `print!`/`eprint!`); diagnostics flow through `mpdf-obs` |
+//! codebase. Detection here rides on sub-dB per-subcarrier RSS changes
+//! and every scientific result is pinned by bit-identity tests, so the
+//! rules target the failure modes that silently flip presence verdicts:
+//! panics, NaN-swallowing ordering, precision-losing casts, dB/linear
+//! unit confusion, ambient nondeterminism, lock-order drift, and metric
+//! namespace rot. See [`crate::report::Rule`] for the full rule set and
+//! the per-family modules ([`crate::rules`], [`crate::determinism`],
+//! [`crate::concurrency`], [`crate::metrics`]) for the policies.
 //!
 //! Library code means files under a crate's `src/` tree minus binary
 //! entry points (`src/bin/`, `main.rs`) and `#[cfg(test)]` modules;
-//! integration tests, benches and examples are never walked.
+//! integration tests, benches and examples are never walked, and
+//! third-party stand-ins under `vendor/` are not visited.
 //!
 //! ## Escape hatch
 //!
@@ -32,426 +27,52 @@
 //! // lint: allow(no-panic) — mutex poisoning is unrecoverable here
 //! ```
 
-use std::fmt;
+use std::collections::BTreeSet;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use crate::scan::{scan, ScannedLine};
+use crate::concurrency::{self, Manifest};
+use crate::determinism;
+use crate::lexer::SourceFile;
+use crate::metrics::{self, MetricUse, Registry};
+use crate::report::{self, Rule, Violation};
+use crate::rules::{self, FileCtx};
 
-/// Crates whose `as` casts are held to the `lossy-cast` rule.
-const KERNEL_CRATES: &[&str] = &["rfmath", "music", "propagation"];
+/// Workspace-root file declaring lock acquisition order and channels.
+pub const LOCK_MANIFEST: &str = "LOCK_ORDER.txt";
+/// Workspace-root file registering every metric name and kind.
+pub const METRIC_REGISTRY: &str = "OBS_registry.txt";
 
-/// The enforced rule set.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Rule {
-    /// No panicking constructs in library code.
-    NoPanic,
-    /// No NaN-unsafe float ordering.
-    NanOrdering,
-    /// No undocumented lossy `as` casts in numeric kernels.
-    LossyCast,
-    /// Crate roots must forbid `unsafe_code` and warn on `missing_docs`.
-    CrateRootAttrs,
-    /// No `*`/`/` arithmetic mixing dB and linear-power identifiers.
-    DbLinear,
-    /// No raw stdout/stderr printing in library code — diagnostics go
-    /// through `mpdf-obs` so binaries keep exclusive control of their
-    /// streams (the repro harness guarantees byte-stable stdout).
-    NoRawStderr,
-}
-
-impl Rule {
-    /// All rules, in reporting order.
-    #[must_use]
-    pub const fn all() -> &'static [Rule] {
-        &[
-            Rule::NoPanic,
-            Rule::NanOrdering,
-            Rule::LossyCast,
-            Rule::CrateRootAttrs,
-            Rule::DbLinear,
-            Rule::NoRawStderr,
-        ]
-    }
-
-    /// Stable kebab-case name used in reports and allow annotations.
-    #[must_use]
-    pub const fn name(self) -> &'static str {
-        match self {
-            Rule::NoPanic => "no-panic",
-            Rule::NanOrdering => "nan-ordering",
-            Rule::LossyCast => "lossy-cast",
-            Rule::CrateRootAttrs => "crate-root-attrs",
-            Rule::DbLinear => "db-linear",
-            Rule::NoRawStderr => "no-raw-stderr",
-        }
-    }
-}
-
-/// One rule violation at a source location.
-#[derive(Debug, Clone)]
-pub struct Violation {
-    /// File the violation is in, relative to the workspace root.
-    pub file: PathBuf,
-    /// 1-based line number.
-    pub line: usize,
-    /// The violated rule.
-    pub rule: Rule,
-    /// Human-readable explanation with the suggested fix.
-    pub message: String,
-}
-
-impl fmt::Display for Violation {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: [{}] {}",
-            self.file.display(),
-            self.line,
-            self.rule.name(),
-            self.message
-        )
-    }
-}
-
-/// How a file is classified before rules run.
-#[derive(Debug, Clone, Copy)]
-pub struct FileContext<'a> {
-    /// Crate directory name (`rfmath`, `core`, …) or `"workspace"` for
-    /// the umbrella crate.
-    pub crate_name: &'a str,
-    /// Library code (rules like `no-panic` apply) vs binary entry point.
-    pub is_library: bool,
-    /// Whether this file is a crate root (`lib.rs` / `main.rs`).
-    pub is_crate_root: bool,
-}
-
-/// Lints one file's source text. Pure function of its inputs, so unit
-/// and fixture tests can drive it without touching the filesystem.
+/// Lints one file's source text against every per-file pass, appending
+/// this file's metric uses to `uses` for the workspace-level registry
+/// reconciliation. Pure function of its inputs, so unit and fixture
+/// tests can drive it without touching the filesystem.
 #[must_use]
-pub fn lint_source(rel_path: &Path, source: &str, ctx: FileContext<'_>) -> Vec<Violation> {
-    let lines = scan(source);
+pub fn lint_source(
+    rel: &Path,
+    source: &str,
+    ctx: FileCtx<'_>,
+    manifest: Option<&Manifest>,
+    uses: &mut Vec<MetricUse>,
+) -> Vec<Violation> {
+    let file = SourceFile::lex(source);
     let mut out = Vec::new();
-
-    if ctx.is_crate_root {
-        check_crate_root_attrs(rel_path, source, &lines, &mut out);
-    }
-
-    let kernel = KERNEL_CRATES.contains(&ctx.crate_name);
-    for (idx, line) in lines.iter().enumerate() {
-        if line.in_cfg_test {
-            continue;
-        }
-        let allow = |rule: Rule| allowed(rule, idx, &lines);
-        // NaN-unsafe comparators often split `.partial_cmp(..)` and
-        // `.unwrap()` across rustfmt-wrapped lines; match on a small
-        // forward window anchored at the `partial_cmp` line.
-        let window: String = lines[idx..(idx + 3).min(lines.len())]
-            .iter()
-            .map(|l| l.code.as_str())
-            .collect::<Vec<_>>()
-            .join(" ");
-        let nan_hit = check_nan_ordering(rel_path, line, &window, &mut out, &allow);
-        if ctx.is_library && !nan_hit {
-            check_no_panic(rel_path, line, &mut out, &allow);
-        }
-        if ctx.is_library {
-            check_no_raw_stderr(rel_path, line, &mut out, &allow);
-        }
-        if kernel {
-            check_lossy_cast(rel_path, line, &mut out, &allow);
-        }
-        check_db_linear(rel_path, line, &mut out, &allow);
-    }
+    // `claimed` carries token indices already reported by a more
+    // specific rule (nan-ordering's terminal unwrap, lock-unwrap's
+    // unwrap/expect) so no-panic does not double-report them — the
+    // concurrency pass therefore runs before the legacy rules.
+    let mut claimed: BTreeSet<usize> = BTreeSet::new();
+    concurrency::check(&file, rel, ctx, manifest, &mut claimed, &mut out);
+    rules::check(&file, rel, ctx, &mut claimed, &mut out);
+    determinism::check(&file, rel, ctx, &mut out);
+    metrics::collect(&file, rel, ctx, uses, &mut out);
     out
 }
 
-/// Checks whether `rule` is suppressed by a `lint: allow(...)` annotation
-/// with a justification on this or the preceding line.
-fn allowed(rule: Rule, idx: usize, lines: &[ScannedLine]) -> bool {
-    let here = lines.get(idx).map(|l| l.comment.as_str());
-    let above = idx
-        .checked_sub(1)
-        .and_then(|p| lines.get(p))
-        .map(|l| l.comment.as_str());
-    [here, above]
-        .into_iter()
-        .flatten()
-        .any(|comment| allow_matches(comment, rule))
-}
-
-fn allow_matches(comment: &str, rule: Rule) -> bool {
-    let Some(pos) = comment.find("lint: allow(") else {
-        return false;
-    };
-    let rest = &comment[pos + "lint: allow(".len()..];
-    let Some(close) = rest.find(')') else {
-        return false;
-    };
-    let names = &rest[..close];
-    let reason = rest[close + 1..]
-        .trim_matches(|c: char| c.is_whitespace() || matches!(c, '—' | '-' | '–' | ':' | ','));
-    names.split(',').any(|n| n.trim() == rule.name()) && !reason.is_empty()
-}
-
-fn check_crate_root_attrs(
-    rel_path: &Path,
-    source: &str,
-    lines: &[ScannedLine],
-    out: &mut Vec<Violation>,
-) {
-    let header_allows = lines
-        .iter()
-        .take(20)
-        .any(|l| allow_matches(&l.comment, Rule::CrateRootAttrs));
-    if header_allows {
-        return;
-    }
-    for attr in ["#![forbid(unsafe_code)]", "#![warn(missing_docs)]"] {
-        if !source.contains(attr) {
-            out.push(Violation {
-                file: rel_path.to_path_buf(),
-                line: 1,
-                rule: Rule::CrateRootAttrs,
-                message: format!("crate root is missing `{attr}`"),
-            });
-        }
-    }
-}
-
-fn check_no_panic<F: Fn(Rule) -> bool>(
-    rel_path: &Path,
-    line: &ScannedLine,
-    out: &mut Vec<Violation>,
-    allow: &F,
-) {
-    const PATTERNS: &[(&str, &str)] = &[
-        (".unwrap()", "use `?`, a `Result` return, or a total method"),
-        (".expect(", "propagate a typed error instead of panicking"),
-        ("panic!", "return an error variant instead of panicking"),
-        ("todo!", "library code must not ship unfinished paths"),
-        (
-            "unimplemented!",
-            "library code must not ship unfinished paths",
-        ),
-    ];
-    for (pat, fix) in PATTERNS {
-        if line.code.contains(pat) {
-            if allow(Rule::NoPanic) {
-                return;
-            }
-            out.push(Violation {
-                file: rel_path.to_path_buf(),
-                line: line.number,
-                rule: Rule::NoPanic,
-                message: format!("`{}` in library code — {fix}", pat.trim_start_matches('.')),
-            });
-            return;
-        }
-    }
-}
-
-/// Print macros banned from library code. Ordered longest-first so the
-/// report names the macro actually written; the identifier-boundary
-/// check below keeps `println!` from also matching inside `eprintln!`.
-const PRINT_MACROS: &[&str] = &["eprintln!", "eprint!", "println!", "print!"];
-
-fn check_no_raw_stderr<F: Fn(Rule) -> bool>(
-    rel_path: &Path,
-    line: &ScannedLine,
-    out: &mut Vec<Violation>,
-    allow: &F,
-) {
-    for pat in PRINT_MACROS {
-        let code = &line.code;
-        let mut from = 0usize;
-        while let Some(rel) = code[from..].find(pat) {
-            let pos = from + rel;
-            from = pos + pat.len();
-            let prev = code[..pos].chars().next_back();
-            if prev.is_some_and(|c| c.is_alphanumeric() || c == '_') {
-                continue;
-            }
-            if allow(Rule::NoRawStderr) {
-                return;
-            }
-            out.push(Violation {
-                file: rel_path.to_path_buf(),
-                line: line.number,
-                rule: Rule::NoRawStderr,
-                message: format!(
-                    "`{pat}` in library code — binaries own the process streams; \
-                     emit an `mpdf-obs` trace event/metric or return the text to \
-                     the caller"
-                ),
-            });
-            return;
-        }
-    }
-}
-
-fn check_nan_ordering<F: Fn(Rule) -> bool>(
-    rel_path: &Path,
-    line: &ScannedLine,
-    window: &str,
-    out: &mut Vec<Violation>,
-    allow: &F,
-) -> bool {
-    if !line.code.contains("partial_cmp") {
-        return false;
-    }
-    let unwrap_after = window
-        .find("partial_cmp")
-        .is_some_and(|pos| window[pos..].contains(".unwrap()"));
-    let equal_fallback = window.contains("unwrap_or(") && window.contains("Ordering::Equal)");
-    if !(unwrap_after || equal_fallback) {
-        return false;
-    }
-    if !allow(Rule::NanOrdering) {
-        out.push(Violation {
-            file: rel_path.to_path_buf(),
-            line: line.number,
-            rule: Rule::NanOrdering,
-            message: "NaN-unsafe float ordering — use `f64::total_cmp` \
-                      (a NaN here silently reorders or panics the sort)"
-                .to_owned(),
-        });
-    }
-    true
-}
-
-/// Integer cast targets that always narrow from the `f64`-dominated
-/// kernel arithmetic.
-const NARROWING_TARGETS: &[&str] = &["f32", "i8", "i16", "i32", "u8", "u16", "u32"];
-/// Wide integer targets: lossy only when the source is a float
-/// expression, which we detect via rounding-method markers.
-const WIDE_INT_TARGETS: &[&str] = &["i64", "u64", "i128", "u128", "isize", "usize"];
-const FLOAT_MARKERS: &[&str] = &[".floor()", ".ceil()", ".round()", ".trunc()"];
-
-fn check_lossy_cast<F: Fn(Rule) -> bool>(
-    rel_path: &Path,
-    line: &ScannedLine,
-    out: &mut Vec<Violation>,
-    allow: &F,
-) {
-    let code = &line.code;
-    let mut search_from = 0usize;
-    while let Some(rel) = code[search_from..].find(" as ") {
-        let pos = search_from + rel;
-        search_from = pos + 4;
-        let target: String = code[pos + 4..]
-            .chars()
-            .take_while(|c| c.is_alphanumeric() || *c == '_')
-            .collect();
-        let before = &code[..pos];
-        let narrowing = NARROWING_TARGETS.contains(&target.as_str());
-        let float_to_int = WIDE_INT_TARGETS.contains(&target.as_str())
-            && FLOAT_MARKERS.iter().any(|m| before.ends_with(m));
-        if !(narrowing || float_to_int) {
-            continue;
-        }
-        if allow(Rule::LossyCast) {
-            return;
-        }
-        out.push(Violation {
-            file: rel_path.to_path_buf(),
-            line: line.number,
-            rule: Rule::LossyCast,
-            message: format!(
-                "lossy `as {target}` cast in a numeric kernel — use a total \
-                 conversion (`from`/`try_from`) or annotate why truncation is safe"
-            ),
-        });
-        return;
-    }
-}
-
-/// Identifier suffixes treated as logarithmic quantities.
-const DB_SUFFIXES: &[&str] = &["_db", "_dbm"];
-/// Identifier suffixes treated as linear power/amplitude quantities.
-const LINEAR_SUFFIXES: &[&str] = &[
-    "_mw",
-    "_watts",
-    "_lin",
-    "_linear",
-    "_power",
-    "_pow",
-    "_amp",
-    "_amplitude",
-    "_mag",
-    "_magnitude",
-];
-
-fn has_suffix(ident: &str, suffixes: &[&str]) -> bool {
-    let lower = ident.to_ascii_lowercase();
-    suffixes.iter().any(|s| lower.ends_with(s))
-}
-
-fn check_db_linear<F: Fn(Rule) -> bool>(
-    rel_path: &Path,
-    line: &ScannedLine,
-    out: &mut Vec<Violation>,
-    allow: &F,
-) {
-    let tokens = tokenize(&line.code);
-    for (i, tok) in tokens.iter().enumerate() {
-        if !(tok == "*" || tok == "/") {
-            continue;
-        }
-        let Some(lhs) = i.checked_sub(1).and_then(|p| tokens.get(p)) else {
-            continue;
-        };
-        let Some(rhs) = tokens.get(i + 1) else {
-            continue;
-        };
-        let pair_mixes = (has_suffix(lhs, DB_SUFFIXES) && has_suffix(rhs, LINEAR_SUFFIXES))
-            || (has_suffix(lhs, LINEAR_SUFFIXES) && has_suffix(rhs, DB_SUFFIXES));
-        if pair_mixes {
-            if allow(Rule::DbLinear) {
-                return;
-            }
-            out.push(Violation {
-                file: rel_path.to_path_buf(),
-                line: line.number,
-                rule: Rule::DbLinear,
-                message: format!(
-                    "`{lhs} {tok} {rhs}` multiplies/divides a dB quantity with a \
-                     linear one — convert with `db_to_linear`/`linear_to_db` first"
-                ),
-            });
-            return;
-        }
-    }
-}
-
-/// Splits code into identifier and single-char operator tokens.
-fn tokenize(code: &str) -> Vec<String> {
-    let mut tokens = Vec::new();
-    let mut cur = String::new();
-    for c in code.chars() {
-        if c.is_alphanumeric() || c == '_' {
-            cur.push(c);
-        } else {
-            if !cur.is_empty() {
-                tokens.push(std::mem::take(&mut cur));
-            }
-            if !c.is_whitespace() {
-                tokens.push(c.to_string());
-            }
-        }
-    }
-    if !cur.is_empty() {
-        tokens.push(cur);
-    }
-    tokens
-}
-
-/// Walks the workspace's first-party source trees and lints every file.
-///
-/// Third-party stand-ins under `vendor/` and non-source directories are
-/// not visited; integration tests, benches and examples are exempt by
-/// construction (only `src/` trees are walked).
+/// Walks the workspace and lints every first-party file, then runs the
+/// workspace-level passes (metric registry reconciliation). Findings
+/// come back in stable (file, line, col, rule) order.
 ///
 /// # Errors
 /// Propagates I/O failures from directory walking or file reads.
@@ -465,37 +86,105 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Violation>> {
         ));
     }
     let mut violations = Vec::new();
+    let manifest = load_lock_manifest(root, &mut violations)?;
+    let registry = load_metric_registry(root, &mut violations)?;
+    let mut uses: Vec<MetricUse> = Vec::new();
 
     // Umbrella crate.
-    lint_src_tree(root, &root.join("src"), "workspace", &mut violations)?;
+    lint_src_tree(
+        root,
+        &root.join("src"),
+        "workspace",
+        manifest.as_ref(),
+        &mut uses,
+        &mut violations,
+    )?;
 
     // Member crates (a root without a `crates/` tree is fine — e.g. a
     // single-crate fixture workspace).
     let crates_dir = root.join("crates");
-    if !crates_dir.is_dir() {
-        return Ok(violations);
+    if crates_dir.is_dir() {
+        let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        crate_dirs.sort();
+        for dir in crate_dirs {
+            let name = dir
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default()
+                .to_owned();
+            lint_src_tree(
+                root,
+                &dir.join("src"),
+                &name,
+                manifest.as_ref(),
+                &mut uses,
+                &mut violations,
+            )?;
+        }
     }
-    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
-        .filter_map(Result::ok)
-        .map(|e| e.path())
-        .filter(|p| p.is_dir())
-        .collect();
-    crate_dirs.sort();
-    for dir in crate_dirs {
-        let name = dir
-            .file_name()
-            .and_then(|n| n.to_str())
-            .unwrap_or_default()
-            .to_owned();
-        lint_src_tree(root, &dir.join("src"), &name, &mut violations)?;
-    }
+
+    metrics::check_registry(
+        &uses,
+        registry.as_ref(),
+        Path::new(METRIC_REGISTRY),
+        &mut violations,
+    );
+    report::sort(&mut violations);
     Ok(violations)
+}
+
+/// Reads and parses `LOCK_ORDER.txt`; `None` when absent. Parse errors
+/// become `lock-order` findings anchored at the manifest file.
+fn load_lock_manifest(root: &Path, out: &mut Vec<Violation>) -> io::Result<Option<Manifest>> {
+    let path = root.join(LOCK_MANIFEST);
+    if !path.is_file() {
+        return Ok(None);
+    }
+    let text = fs::read_to_string(&path)?;
+    let (manifest, errors) = Manifest::parse(&text);
+    for (line, message) in errors {
+        out.push(Violation {
+            file: PathBuf::from(LOCK_MANIFEST),
+            line,
+            col: 0,
+            rule: Rule::LockOrder,
+            message,
+        });
+    }
+    Ok(Some(manifest))
+}
+
+/// Reads and parses `OBS_registry.txt`; `None` when absent. Parse
+/// errors become `metric-registry` findings anchored at the registry.
+fn load_metric_registry(root: &Path, out: &mut Vec<Violation>) -> io::Result<Option<Registry>> {
+    let path = root.join(METRIC_REGISTRY);
+    if !path.is_file() {
+        return Ok(None);
+    }
+    let text = fs::read_to_string(&path)?;
+    let (registry, errors) = Registry::parse(&text);
+    for (line, message) in errors {
+        out.push(Violation {
+            file: PathBuf::from(METRIC_REGISTRY),
+            line,
+            col: 0,
+            rule: Rule::MetricRegistry,
+            message,
+        });
+    }
+    Ok(Some(registry))
 }
 
 fn lint_src_tree(
     root: &Path,
     src: &Path,
     crate_name: &str,
+    manifest: Option<&Manifest>,
+    uses: &mut Vec<MetricUse>,
     out: &mut Vec<Violation>,
 ) -> io::Result<()> {
     if !src.is_dir() {
@@ -512,12 +201,12 @@ fn lint_src_tree(
             .and_then(|n| n.to_str())
             .unwrap_or_default();
         let in_bin_dir = file.components().any(|c| c.as_os_str() == "bin");
-        let ctx = FileContext {
+        let ctx = FileCtx {
             crate_name,
             is_library: !in_bin_dir && file_name != "main.rs",
             is_crate_root: matches!(file_name, "lib.rs" | "main.rs") && !in_bin_dir,
         };
-        out.extend(lint_source(&rel, &source, ctx));
+        out.extend(lint_source(&rel, &source, ctx, manifest, uses));
     }
     Ok(())
 }
@@ -536,226 +225,72 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
 
 #[cfg(test)]
 mod tests {
-    use super::{lint_source, FileContext, Rule};
+    use super::lint_source;
+    use crate::concurrency::Manifest;
+    use crate::report::Rule;
+    use crate::rules::FileCtx;
     use std::path::Path;
 
-    fn lib_ctx() -> FileContext<'static> {
-        FileContext {
-            crate_name: "core",
+    fn lib_ctx(crate_name: &'static str) -> FileCtx<'static> {
+        FileCtx {
+            crate_name,
             is_library: true,
             is_crate_root: false,
         }
     }
 
-    fn kernel_ctx() -> FileContext<'static> {
-        FileContext {
-            crate_name: "rfmath",
-            is_library: true,
-            is_crate_root: false,
-        }
-    }
-
-    fn rules_of(source: &str, ctx: FileContext<'_>) -> Vec<Rule> {
-        lint_source(Path::new("x.rs"), source, ctx)
-            .into_iter()
-            .map(|v| v.rule)
-            .collect()
-    }
-
-    // ---- no-panic ----
-
     #[test]
-    fn no_panic_flags_unwrap_expect_panic_todo() {
-        for src in [
-            "fn f() { x.unwrap(); }\n",
-            "fn f() { x.expect(\"boom\"); }\n",
-            "fn f() { panic!(\"boom\"); }\n",
-            "fn f() { todo!(); }\n",
-            "fn f() { unimplemented!(); }\n",
-        ] {
-            assert_eq!(rules_of(src, lib_ctx()), vec![Rule::NoPanic], "{src}");
-        }
-    }
-
-    #[test]
-    fn no_panic_ignores_unwrap_or_family_and_strings() {
-        for src in [
-            "fn f() { x.unwrap_or(0); }\n",
-            "fn f() { x.unwrap_or_else(|| 0); }\n",
-            "fn f() { x.unwrap_or_default(); }\n",
-            "fn f() { let s = \".unwrap()\"; drop(s); }\n",
-            "// a comment about .unwrap()\nfn f() {}\n",
-        ] {
-            assert!(rules_of(src, lib_ctx()).is_empty(), "{src}");
-        }
-    }
-
-    #[test]
-    fn no_panic_exempts_cfg_test_and_non_library() {
-        let test_mod = "#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\n";
-        assert!(rules_of(test_mod, lib_ctx()).is_empty());
-        let binary = FileContext {
-            is_library: false,
-            ..lib_ctx()
-        };
-        assert!(rules_of("fn main() { x.unwrap(); }\n", binary).is_empty());
-    }
-
-    #[test]
-    fn no_panic_escape_hatch_requires_reason() {
-        let with_reason =
-            "fn f() { x.unwrap(); // lint: allow(no-panic) — checked two lines up\n}\n";
-        assert!(rules_of(with_reason, lib_ctx()).is_empty());
-        let above = "// lint: allow(no-panic) — invariant: non-empty\nfn f() { x.unwrap(); }\n";
-        assert!(rules_of(above, lib_ctx()).is_empty());
-        let bare = "fn f() { x.unwrap(); // lint: allow(no-panic)\n}\n";
-        assert_eq!(rules_of(bare, lib_ctx()), vec![Rule::NoPanic]);
-        let wrong_rule = "fn f() { x.unwrap(); // lint: allow(lossy-cast) — nope\n}\n";
-        assert_eq!(rules_of(wrong_rule, lib_ctx()), vec![Rule::NoPanic]);
-    }
-
-    // ---- nan-ordering ----
-
-    #[test]
-    fn nan_ordering_flags_partial_cmp_unwrap_and_equal_fallback() {
-        let unwrap = "fn f() { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n";
-        assert_eq!(rules_of(unwrap, lib_ctx()), vec![Rule::NanOrdering]);
-        let fallback =
-            "fn f() { v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal)); }\n";
-        assert_eq!(rules_of(fallback, lib_ctx()), vec![Rule::NanOrdering]);
-        let qualified =
-            "fn f() { v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)); }\n";
-        assert_eq!(rules_of(qualified, lib_ctx()), vec![Rule::NanOrdering]);
-    }
-
-    #[test]
-    fn nan_ordering_accepts_total_cmp_and_handled_partial_cmp() {
-        let total = "fn f() { v.sort_by(f64::total_cmp); }\n";
-        assert!(rules_of(total, lib_ctx()).is_empty());
-        let handled = "fn f() -> Option<Ordering> { a.partial_cmp(&b) }\n";
-        assert!(rules_of(handled, lib_ctx()).is_empty());
-    }
-
-    // ---- lossy-cast ----
-
-    #[test]
-    fn lossy_cast_flags_narrowing_in_kernels() {
-        for src in [
-            "fn f(x: f64) -> f32 { x as f32 }\n",
-            "fn f(x: usize) -> u32 { x as u32 }\n",
-            "fn f(x: f64) -> usize { x.floor() as usize }\n",
-            "fn f(x: f64) -> u64 { x.round() as u64 }\n",
-        ] {
-            assert_eq!(rules_of(src, kernel_ctx()), vec![Rule::LossyCast], "{src}");
-        }
-    }
-
-    #[test]
-    fn lossy_cast_accepts_widening_annotated_and_non_kernel() {
-        for src in [
-            "fn f(i: usize) -> f64 { i as f64 }\n",
-            "fn f(i: u32) -> u64 { u64::from(i) }\n",
-            "fn f(x: f64) -> usize { x.floor() as usize } // lint: allow(lossy-cast) — bounded by grid len\n",
-        ] {
-            assert!(rules_of(src, kernel_ctx()).is_empty(), "{src}");
-        }
-        let non_kernel = "fn f(x: f64) -> f32 { x as f32 }\n";
-        assert!(rules_of(non_kernel, lib_ctx()).is_empty());
-    }
-
-    // ---- crate-root-attrs ----
-
-    #[test]
-    fn crate_root_attrs_requires_both_attributes() {
-        let root_ctx = FileContext {
-            crate_name: "core",
-            is_library: true,
-            is_crate_root: true,
-        };
-        let bare = "//! docs\npub fn f() {}\n";
-        let rules = rules_of(bare, root_ctx);
-        assert_eq!(rules, vec![Rule::CrateRootAttrs, Rule::CrateRootAttrs]);
-        let good = "//! docs\n#![forbid(unsafe_code)]\n#![warn(missing_docs)]\npub fn f() {}\n";
-        assert!(rules_of(good, root_ctx).is_empty());
-        let non_root = "pub fn f() {}\n";
-        assert!(rules_of(non_root, lib_ctx()).is_empty());
-    }
-
-    // ---- no-raw-stderr ----
-
-    #[test]
-    fn no_raw_stderr_flags_print_macros_in_library_code() {
-        for src in [
-            "fn f() { eprintln!(\"status\"); }\n",
-            "fn f() { eprint!(\"status\"); }\n",
-            "fn f() { println!(\"{x}\"); }\n",
-            "fn f() { print!(\"{x}\"); }\n",
-        ] {
-            assert_eq!(rules_of(src, lib_ctx()), vec![Rule::NoRawStderr], "{src}");
-        }
-    }
-
-    #[test]
-    fn no_raw_stderr_exempts_bins_tests_strings_and_lookalikes() {
-        let binary = FileContext {
-            is_library: false,
-            ..lib_ctx()
-        };
-        assert!(rules_of("fn main() { println!(\"ok\"); }\n", binary).is_empty());
-        let test_mod = "#[cfg(test)]\nmod tests {\n fn t() { eprintln!(\"dbg\"); }\n}\n";
-        assert!(rules_of(test_mod, lib_ctx()).is_empty());
-        for src in [
-            "fn f() { let s = \"println!\"; drop(s); }\n",
-            "// println! is banned here\nfn f() {}\n",
-            "fn f(w: &mut W) { writeln!(w, \"x\").ok(); }\n",
-            "my_println!(\"macro with a suffix match\");\n",
-        ] {
-            assert!(rules_of(src, lib_ctx()).is_empty(), "{src}");
-        }
-    }
-
-    #[test]
-    fn no_raw_stderr_escape_hatch_requires_reason() {
-        let with_reason =
-            "fn f() { eprintln!(\"x\"); // lint: allow(no-raw-stderr) — pre-obs bootstrap path\n}\n";
-        assert!(rules_of(with_reason, lib_ctx()).is_empty());
-        let bare = "fn f() { eprintln!(\"x\"); // lint: allow(no-raw-stderr)\n}\n";
-        assert_eq!(rules_of(bare, lib_ctx()), vec![Rule::NoRawStderr]);
-    }
-
-    #[test]
-    fn no_raw_stderr_names_the_longest_matching_macro() {
+    fn all_families_run_from_one_lex() {
+        let (manifest, errs) = Manifest::parse("lock par.state\n");
+        assert!(errs.is_empty());
+        let src = "fn f(&self) {\n\
+                   \x20   let g = self.state.lock().unwrap();\n\
+                   \x20   let t = Instant::now();\n\
+                   \x20   counter!(\"badName\");\n\
+                   \x20   drop((g, t));\n\
+                   }\n";
+        let mut uses = Vec::new();
         let v = lint_source(
             Path::new("x.rs"),
-            "fn f() { eprintln!(\"x\"); }\n",
-            lib_ctx(),
+            src,
+            lib_ctx("par"),
+            Some(&manifest),
+            &mut uses,
         );
-        assert_eq!(v.len(), 1);
-        assert!(v[0].message.contains("`eprintln!`"), "{}", v[0].message);
-    }
-
-    // ---- db-linear ----
-
-    #[test]
-    fn db_linear_flags_mixed_arithmetic() {
-        for src in [
-            "fn f() { let x = gain_db * noise_power; }\n",
-            "fn f() { let x = signal_mw / loss_db; }\n",
-            "fn f() { let x = rssi_dbm * amplitude_mag; }\n",
-        ] {
-            assert_eq!(rules_of(src, lib_ctx()), vec![Rule::DbLinear], "{src}");
-        }
+        let rules: Vec<Rule> = v.iter().map(|v| v.rule).collect();
+        assert!(rules.contains(&Rule::LockUnwrap), "{v:?}");
+        assert!(rules.contains(&Rule::DetWallClock), "{v:?}");
+        assert!(rules.contains(&Rule::MetricName), "{v:?}");
+        // lock-unwrap claimed the unwrap token: no-panic stays silent.
+        assert!(!rules.contains(&Rule::NoPanic), "{v:?}");
+        assert!(
+            uses.is_empty(),
+            "malformed names are not registry candidates"
+        );
     }
 
     #[test]
-    fn db_linear_accepts_scalars_and_same_unit_math() {
-        for src in [
-            "fn f() { let x = gain_db * 0.5; }\n",
-            "fn f() { let x = gain_db - other_db; }\n",
-            "fn f() { let x = signal_mw * path_gain_lin; }\n",
-            "fn f() { let x = gain_db / 10.0; }\n",
-        ] {
-            assert!(rules_of(src, lib_ctx()).is_empty(), "{src}");
-        }
+    fn clean_file_reports_nothing_and_collects_uses() {
+        let (manifest, errs) = Manifest::parse("lock par.state\nchannel par.work\n");
+        assert!(errs.is_empty());
+        let src = "fn f(&self) {\n\
+                   \x20   let g = self.state.lock().unwrap_or_else(PoisonError::into_inner);\n\
+                   \x20   // Backpressure: bounded queue, push blocks when full; on\n\
+                   \x20   // disconnect the pop side drains and returns None.\n\
+                   \x20   self.work.push(1);\n\
+                   \x20   counter!(\"par.jobs_total\");\n\
+                   \x20   drop(g);\n\
+                   }\n";
+        let mut uses = Vec::new();
+        let v = lint_source(
+            Path::new("x.rs"),
+            src,
+            lib_ctx("par"),
+            Some(&manifest),
+            &mut uses,
+        );
+        assert!(v.is_empty(), "{v:?}");
+        assert_eq!(uses.len(), 1);
+        assert_eq!(uses[0].name, "par.jobs_total");
     }
 }

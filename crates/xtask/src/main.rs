@@ -6,22 +6,30 @@
 //!
 //! Commands:
 //!
-//! - `cargo xtask lint [--root <path>]` — run the repo-specific static
-//!   analysis suite over all first-party source (see [`lint`] for the
-//!   rule table). Exits non-zero if any violation is found.
+//! - `cargo xtask lint [--root <path>] [--json [<path>]]` — run the
+//!   repo-specific static analysis suite over all first-party source
+//!   (see [`xtask::lint`] for the engine and [`xtask::report::Rule`]
+//!   for the rule table). Exits 1 if any violation is found, 2 on
+//!   usage or I/O errors. With `--json` and no path the machine report
+//!   replaces the human output on stdout; with `--json <path>` the
+//!   report is written to the file and the human lines still print.
 //! - `cargo xtask rules` — print the rule names and one-line policies.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::env;
+use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-mod lint;
-mod scan;
+use xtask::lint;
+use xtask::report::{self, Rule};
 
-use lint::Rule;
+/// Exit code for violations found (distinct from usage/I/O errors).
+const EXIT_FINDINGS: u8 = 1;
+/// Exit code for usage or I/O errors.
+const EXIT_ERROR: u8 = 2;
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
@@ -32,8 +40,8 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         _ => {
-            eprintln!("usage: cargo xtask <lint [--root <path>] | rules>");
-            ExitCode::FAILURE
+            eprintln!("usage: cargo xtask <lint [--root <path>] [--json [<path>]] | rules>");
+            ExitCode::from(EXIT_ERROR)
         }
     }
 }
@@ -41,25 +49,51 @@ fn main() -> ExitCode {
 fn print_rules() {
     println!("cargo xtask lint enforces:");
     for rule in Rule::all() {
-        println!("  {}", rule.name());
+        println!("  {:<18} {}", rule.name(), rule.policy());
     }
     println!("escape hatch: `// lint: allow(<rule>) — <reason>` on or above the line");
 }
 
+/// Parsed `lint` subcommand options.
+struct LintOpts {
+    root: PathBuf,
+    /// `None` = no JSON; `Some(None)` = JSON to stdout (replaces human
+    /// output); `Some(Some(path))` = JSON to file, human output kept.
+    json: Option<Option<PathBuf>>,
+}
+
 fn run_lint(args: &[String]) -> ExitCode {
-    let root = match parse_root(args) {
-        Ok(root) => root,
+    let opts = match parse_opts(args) {
+        Ok(opts) => opts,
         Err(msg) => {
             eprintln!("{msg}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_ERROR);
         }
     };
-    match lint::lint_workspace(&root) {
-        Ok(violations) if violations.is_empty() => {
-            println!("xtask lint: clean ({} rules)", Rule::all().len());
-            ExitCode::SUCCESS
+    let violations = match lint::lint_workspace(&opts.root) {
+        Ok(violations) => violations,
+        Err(err) => {
+            eprintln!("xtask lint: i/o error: {err}");
+            return ExitCode::from(EXIT_ERROR);
         }
-        Ok(violations) => {
+    };
+    let json_to_stdout = matches!(opts.json, Some(None));
+    if let Some(dest) = &opts.json {
+        let json = report::to_json(&violations);
+        match dest {
+            None => print!("{json}"),
+            Some(path) => {
+                if let Err(err) = fs::write(path, &json) {
+                    eprintln!("xtask lint: cannot write {}: {err}", path.display());
+                    return ExitCode::from(EXIT_ERROR);
+                }
+            }
+        }
+    }
+    if !json_to_stdout {
+        if violations.is_empty() {
+            println!("xtask lint: clean ({} rules)", Rule::all().len());
+        } else {
             for v in &violations {
                 println!("{v}");
             }
@@ -68,25 +102,55 @@ fn run_lint(args: &[String]) -> ExitCode {
                  `// lint: allow(<rule>) — <reason>`",
                 violations.len()
             );
-            ExitCode::FAILURE
         }
-        Err(err) => {
-            eprintln!("xtask lint: i/o error: {err}");
-            ExitCode::FAILURE
-        }
+    }
+    if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(EXIT_FINDINGS)
     }
 }
 
-/// Resolves the workspace root: `--root <path>` argument, the
-/// `CARGO_MANIFEST_DIR`-derived default when run via `cargo xtask`, or
-/// the current directory.
-fn parse_root(args: &[String]) -> Result<PathBuf, String> {
-    if let Some(pos) = args.iter().position(|a| a == "--root") {
-        return args
-            .get(pos + 1)
-            .map(PathBuf::from)
-            .ok_or_else(|| "--root requires a path argument".to_owned());
+fn parse_opts(args: &[String]) -> Result<LintOpts, String> {
+    let mut root: Option<PathBuf> = None;
+    let mut json: Option<Option<PathBuf>> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                let path = args
+                    .get(i + 1)
+                    .ok_or_else(|| "--root requires a path argument".to_owned())?;
+                root = Some(PathBuf::from(path));
+                i += 2;
+            }
+            "--json" => {
+                // Optional path operand: consume the next argument iff
+                // it is not a flag.
+                match args.get(i + 1) {
+                    Some(next) if !next.starts_with("--") => {
+                        json = Some(Some(PathBuf::from(next)));
+                        i += 2;
+                    }
+                    _ => {
+                        json = Some(None);
+                        i += 1;
+                    }
+                }
+            }
+            other => return Err(format!("unknown lint argument `{other}`")),
+        }
     }
+    let root = match root {
+        Some(root) => root,
+        None => default_root()?,
+    };
+    Ok(LintOpts { root, json })
+}
+
+/// Resolves the workspace root: the `CARGO_MANIFEST_DIR`-derived default
+/// when run via `cargo xtask`, or the current directory.
+fn default_root() -> Result<PathBuf, String> {
     if let Some(manifest_dir) = env::var_os("CARGO_MANIFEST_DIR") {
         // crates/xtask → workspace root is two levels up.
         let dir = PathBuf::from(manifest_dir);

@@ -1,0 +1,583 @@
+//! The six original lint rules, ported from the line-oriented regex
+//! scanner onto the token stream. The port closes the scanner's two
+//! structural blind spots: patterns inside string literals can no longer
+//! fire (strings are single opaque tokens), and multi-line constructs
+//! can no longer escape (a `partial_cmp` whose `.unwrap()` sits any
+//! number of rustfmt-wrapped lines later is one chain walk away).
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use crate::lexer::{SourceFile, Token, TokenKind};
+use crate::report::{Rule, Violation};
+use crate::stream::{after_call, is_method_call, matching_close};
+
+/// Crates whose `as` casts are held to the `lossy-cast` rule.
+pub const KERNEL_CRATES: &[&str] = &["rfmath", "music", "propagation"];
+
+/// How a file is classified before rules run.
+#[derive(Debug, Clone, Copy)]
+pub struct FileCtx<'a> {
+    /// Crate directory name (`rfmath`, `core`, …) or `"workspace"` for
+    /// the umbrella crate.
+    pub crate_name: &'a str,
+    /// Library code (rules like `no-panic` apply) vs binary entry point.
+    pub is_library: bool,
+    /// Whether this file is a crate root (`lib.rs` / `main.rs`).
+    pub is_crate_root: bool,
+}
+
+/// Pushes a violation at a token, honouring the allow escape hatch.
+pub fn emit(
+    file: &SourceFile,
+    rel: &Path,
+    tok: &Token,
+    rule: Rule,
+    message: String,
+    out: &mut Vec<Violation>,
+) {
+    if !file.allowed(rule.name(), tok.line) {
+        out.push(Violation {
+            file: rel.to_path_buf(),
+            line: tok.line,
+            col: tok.col,
+            rule,
+            message,
+        });
+    }
+}
+
+/// Runs the legacy rule set. `claimed` holds token indices already
+/// reported by a more specific rule (`nan-ordering`'s trailing unwrap,
+/// `lock-unwrap`'s unwrap/expect) that `no-panic` must not re-report.
+pub fn check(
+    file: &SourceFile,
+    rel: &Path,
+    ctx: FileCtx<'_>,
+    claimed: &mut BTreeSet<usize>,
+    out: &mut Vec<Violation>,
+) {
+    if ctx.is_crate_root {
+        check_crate_root_attrs(file, rel, out);
+    }
+    check_nan_ordering(file, rel, claimed, out);
+    let kernel = KERNEL_CRATES.contains(&ctx.crate_name);
+    for (i, tok) in file.tokens.iter().enumerate() {
+        if file.in_test(tok.line) {
+            continue;
+        }
+        if ctx.is_library {
+            check_no_panic(file, rel, i, claimed, out);
+            check_no_raw_stderr(file, rel, i, out);
+        }
+        if kernel {
+            check_lossy_cast(file, rel, i, out);
+        }
+        check_db_linear(file, rel, i, out);
+    }
+}
+
+fn check_crate_root_attrs(file: &SourceFile, rel: &Path, out: &mut Vec<Violation>) {
+    if file.allowed_in_header(Rule::CrateRootAttrs.name(), 20) {
+        return;
+    }
+    // Look for `#![forbid(unsafe_code)]` / `#![warn(missing_docs)]` as
+    // inner-attribute token sequences anywhere in the file.
+    let mut have_forbid = false;
+    let mut have_warn = false;
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        if !(toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('!'))) {
+            continue;
+        }
+        let Some(open) = toks.get(i + 2).filter(|t| t.is_punct('[')).map(|_| i + 2) else {
+            continue;
+        };
+        let Some(close) = matching_close(toks, open) else {
+            continue;
+        };
+        let names: Vec<&str> = toks[open..close]
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        if names.contains(&"forbid") && names.contains(&"unsafe_code") {
+            have_forbid = true;
+        }
+        if names.contains(&"warn") && names.contains(&"missing_docs") {
+            have_warn = true;
+        }
+    }
+    for (have, attr) in [
+        (have_forbid, "#![forbid(unsafe_code)]"),
+        (have_warn, "#![warn(missing_docs)]"),
+    ] {
+        if !have {
+            out.push(Violation {
+                file: rel.to_path_buf(),
+                line: 1,
+                col: 0,
+                rule: Rule::CrateRootAttrs,
+                message: format!("crate root is missing `{attr}`"),
+            });
+        }
+    }
+}
+
+fn check_no_panic(
+    file: &SourceFile,
+    rel: &Path,
+    i: usize,
+    claimed: &BTreeSet<usize>,
+    out: &mut Vec<Violation>,
+) {
+    if claimed.contains(&i) {
+        return;
+    }
+    let toks = &file.tokens;
+    let t = &toks[i];
+    if t.kind != TokenKind::Ident {
+        return;
+    }
+    let (pat, fix) = match t.text.as_str() {
+        "unwrap" if is_method_call(toks, i) => {
+            ("unwrap()", "use `?`, a `Result` return, or a total method")
+        }
+        "expect" if is_method_call(toks, i) => {
+            ("expect(", "propagate a typed error instead of panicking")
+        }
+        "panic" if next_is_bang(toks, i) => {
+            ("panic!", "return an error variant instead of panicking")
+        }
+        "todo" if next_is_bang(toks, i) => ("todo!", "library code must not ship unfinished paths"),
+        "unimplemented" if next_is_bang(toks, i) => (
+            "unimplemented!",
+            "library code must not ship unfinished paths",
+        ),
+        _ => return,
+    };
+    emit(
+        file,
+        rel,
+        t,
+        Rule::NoPanic,
+        format!("`{pat}` in library code — {fix}"),
+        out,
+    );
+}
+
+fn next_is_bang(toks: &[Token], i: usize) -> bool {
+    toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+}
+
+/// Print macros banned from library code.
+const PRINT_MACROS: &[&str] = &["print", "println", "eprint", "eprintln"];
+
+fn check_no_raw_stderr(file: &SourceFile, rel: &Path, i: usize, out: &mut Vec<Violation>) {
+    let t = &file.tokens[i];
+    if t.kind == TokenKind::Ident
+        && PRINT_MACROS.contains(&t.text.as_str())
+        && next_is_bang(&file.tokens, i)
+    {
+        emit(
+            file,
+            rel,
+            t,
+            Rule::NoRawStderr,
+            format!(
+                "`{}!` in library code — binaries own the process streams; \
+                 emit an `mpdf-obs` trace event/metric or return the text to \
+                 the caller",
+                t.text
+            ),
+            out,
+        );
+    }
+}
+
+/// Walks `.partial_cmp(..)` result chains for a NaN-unsafe terminal:
+/// `.unwrap()` or `.unwrap_or(…Ordering::Equal)`, any number of
+/// intermediate combinators and lines away. Claims the terminal token so
+/// `no-panic` does not double-report the same defect.
+fn check_nan_ordering(
+    file: &SourceFile,
+    rel: &Path,
+    claimed: &mut BTreeSet<usize>,
+    out: &mut Vec<Violation>,
+) {
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        if !(toks[i].is_ident("partial_cmp") && is_method_call(toks, i)) {
+            continue;
+        }
+        if file.in_test(toks[i].line) {
+            continue;
+        }
+        // Walk the method chain hanging off the partial_cmp call.
+        let mut cur = after_call(toks, i);
+        while let Some(j) = cur {
+            if !toks.get(j).is_some_and(|t| t.is_punct('.')) {
+                break;
+            }
+            let m = j + 1;
+            if !toks.get(m).is_some_and(|t| t.kind == TokenKind::Ident)
+                || !toks.get(m + 1).is_some_and(|t| t.is_punct('('))
+            {
+                break;
+            }
+            let name = toks[m].text.as_str();
+            let unsafe_terminal = match name {
+                "unwrap" => true,
+                "unwrap_or" => {
+                    let close = matching_close(toks, m + 1).unwrap_or(m + 1);
+                    toks[m + 1..close].iter().any(|t| t.is_ident("Equal"))
+                }
+                _ => false,
+            };
+            if unsafe_terminal {
+                claimed.insert(m);
+                emit(
+                    file,
+                    rel,
+                    &toks[i],
+                    Rule::NanOrdering,
+                    "NaN-unsafe float ordering — use `f64::total_cmp` \
+                     (a NaN here silently reorders or panics the sort)"
+                        .to_owned(),
+                    out,
+                );
+                break;
+            }
+            cur = after_call(toks, m);
+        }
+    }
+}
+
+/// Integer cast targets that always narrow from the `f64`-dominated
+/// kernel arithmetic.
+const NARROWING_TARGETS: &[&str] = &["f32", "i8", "i16", "i32", "u8", "u16", "u32"];
+/// Wide integer targets: lossy only when the source is a float
+/// expression, detected via a rounding-method call directly before the
+/// cast.
+const WIDE_INT_TARGETS: &[&str] = &["i64", "u64", "i128", "u128", "isize", "usize"];
+const FLOAT_MARKERS: &[&str] = &["floor", "ceil", "round", "trunc"];
+
+fn check_lossy_cast(file: &SourceFile, rel: &Path, i: usize, out: &mut Vec<Violation>) {
+    let toks = &file.tokens;
+    if !toks[i].is_ident("as") {
+        return;
+    }
+    let Some(target) = toks.get(i + 1).filter(|t| t.kind == TokenKind::Ident) else {
+        return;
+    };
+    let narrowing = NARROWING_TARGETS.contains(&target.text.as_str());
+    let float_to_int = WIDE_INT_TARGETS.contains(&target.text.as_str())
+        && i >= 3
+        && toks[i - 1].is_punct(')')
+        && toks[i - 2].is_punct('(')
+        && FLOAT_MARKERS.contains(&toks[i - 3].text.as_str());
+    if narrowing || float_to_int {
+        emit(
+            file,
+            rel,
+            &toks[i],
+            Rule::LossyCast,
+            format!(
+                "lossy `as {}` cast in a numeric kernel — use a total \
+                 conversion (`from`/`try_from`) or annotate why truncation is safe",
+                target.text
+            ),
+            out,
+        );
+    }
+}
+
+/// Identifier suffixes treated as logarithmic quantities.
+const DB_SUFFIXES: &[&str] = &["_db", "_dbm"];
+/// Identifier suffixes treated as linear power/amplitude quantities.
+const LINEAR_SUFFIXES: &[&str] = &[
+    "_mw",
+    "_watts",
+    "_lin",
+    "_linear",
+    "_power",
+    "_pow",
+    "_amp",
+    "_amplitude",
+    "_mag",
+    "_magnitude",
+];
+
+fn has_suffix(ident: &str, suffixes: &[&str]) -> bool {
+    let lower = ident.to_ascii_lowercase();
+    suffixes.iter().any(|s| lower.ends_with(s))
+}
+
+fn check_db_linear(file: &SourceFile, rel: &Path, i: usize, out: &mut Vec<Violation>) {
+    let toks = &file.tokens;
+    let t = &toks[i];
+    if !(t.is_punct('*') || t.is_punct('/')) {
+        return;
+    }
+    let Some(lhs) = i.checked_sub(1).map(|p| &toks[p]) else {
+        return;
+    };
+    let Some(rhs) = toks.get(i + 1) else {
+        return;
+    };
+    if lhs.kind != TokenKind::Ident || rhs.kind != TokenKind::Ident {
+        return;
+    }
+    let mixes = (has_suffix(&lhs.text, DB_SUFFIXES) && has_suffix(&rhs.text, LINEAR_SUFFIXES))
+        || (has_suffix(&lhs.text, LINEAR_SUFFIXES) && has_suffix(&rhs.text, DB_SUFFIXES));
+    if mixes {
+        emit(
+            file,
+            rel,
+            t,
+            Rule::DbLinear,
+            format!(
+                "`{} {} {}` multiplies/divides a dB quantity with a linear \
+                 one — convert with `db_to_linear`/`linear_to_db` first",
+                lhs.text, t.text, rhs.text
+            ),
+            out,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{check, FileCtx};
+    use crate::lexer::SourceFile;
+    use crate::report::Rule;
+    use std::collections::BTreeSet;
+    use std::path::Path;
+
+    fn lib_ctx() -> FileCtx<'static> {
+        FileCtx {
+            crate_name: "core",
+            is_library: true,
+            is_crate_root: false,
+        }
+    }
+
+    fn kernel_ctx() -> FileCtx<'static> {
+        FileCtx {
+            crate_name: "rfmath",
+            is_library: true,
+            is_crate_root: false,
+        }
+    }
+
+    pub(crate) fn rules_of(source: &str, ctx: FileCtx<'_>) -> Vec<Rule> {
+        let file = SourceFile::lex(source);
+        let mut out = Vec::new();
+        let mut claimed = BTreeSet::new();
+        check(&file, Path::new("x.rs"), ctx, &mut claimed, &mut out);
+        out.into_iter().map(|v| v.rule).collect()
+    }
+
+    // ---- no-panic ----
+
+    #[test]
+    fn no_panic_flags_unwrap_expect_panic_todo() {
+        for src in [
+            "fn f() { x.unwrap(); }\n",
+            "fn f() { x.expect(\"boom\"); }\n",
+            "fn f() { panic!(\"boom\"); }\n",
+            "fn f() { todo!(); }\n",
+            "fn f() { unimplemented!(); }\n",
+        ] {
+            assert_eq!(rules_of(src, lib_ctx()), vec![Rule::NoPanic], "{src}");
+        }
+    }
+
+    #[test]
+    fn no_panic_ignores_unwrap_or_family_strings_and_paths() {
+        for src in [
+            "fn f() { x.unwrap_or(0); }\n",
+            "fn f() { x.unwrap_or_else(|| 0); }\n",
+            "fn f() { x.unwrap_or_default(); }\n",
+            "fn f() { let s = \".unwrap()\"; drop(s); }\n",
+            "// a comment about .unwrap()\nfn f() {}\n",
+            "fn f() { let s = r#\"panic!(\"x\")\"#; drop(s); }\n",
+            "use std::panic::catch_unwind;\n",
+        ] {
+            assert!(rules_of(src, lib_ctx()).is_empty(), "{src}");
+        }
+    }
+
+    #[test]
+    fn no_panic_catches_multiline_chains_the_old_scanner_saw_linewise() {
+        let src = "fn f() {\n    let v = some\n        .thing()\n        .unwrap();\n}\n";
+        assert_eq!(rules_of(src, lib_ctx()), vec![Rule::NoPanic]);
+    }
+
+    #[test]
+    fn no_panic_exempts_cfg_test_and_non_library() {
+        let test_mod = "#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\n";
+        assert!(rules_of(test_mod, lib_ctx()).is_empty());
+        let binary = FileCtx {
+            is_library: false,
+            ..lib_ctx()
+        };
+        assert!(rules_of("fn main() { x.unwrap(); }\n", binary).is_empty());
+    }
+
+    #[test]
+    fn no_panic_escape_hatch_requires_reason() {
+        let with_reason =
+            "fn f() { x.unwrap(); // lint: allow(no-panic) — checked two lines up\n}\n";
+        assert!(rules_of(with_reason, lib_ctx()).is_empty());
+        let above = "// lint: allow(no-panic) — invariant: non-empty\nfn f() { x.unwrap(); }\n";
+        assert!(rules_of(above, lib_ctx()).is_empty());
+        let bare = "fn f() { x.unwrap(); // lint: allow(no-panic)\n}\n";
+        assert_eq!(rules_of(bare, lib_ctx()), vec![Rule::NoPanic]);
+        let wrong_rule = "fn f() { x.unwrap(); // lint: allow(lossy-cast) — nope\n}\n";
+        assert_eq!(rules_of(wrong_rule, lib_ctx()), vec![Rule::NoPanic]);
+    }
+
+    // ---- nan-ordering ----
+
+    #[test]
+    fn nan_ordering_flags_partial_cmp_unwrap_and_equal_fallback() {
+        let unwrap = "fn f() { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n";
+        assert_eq!(rules_of(unwrap, lib_ctx()), vec![Rule::NanOrdering]);
+        let fallback =
+            "fn f() { v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal)); }\n";
+        assert_eq!(rules_of(fallback, lib_ctx()), vec![Rule::NanOrdering]);
+        let qualified =
+            "fn f() { v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)); }\n";
+        assert_eq!(rules_of(qualified, lib_ctx()), vec![Rule::NanOrdering]);
+    }
+
+    #[test]
+    fn nan_ordering_catches_distant_multiline_unwrap() {
+        // Four wrapped lines between partial_cmp and unwrap: outside the
+        // old scanner's 3-line window, trivial for the chain walk.
+        let src = "fn f() {\n    v.sort_by(|a, b| {\n        a.score\n            .partial_cmp(&b.score)\n            .map(core::convert::identity)\n            .map(core::convert::identity)\n            .map(core::convert::identity)\n            .unwrap()\n    });\n}\n";
+        assert_eq!(rules_of(src, lib_ctx()), vec![Rule::NanOrdering]);
+    }
+
+    #[test]
+    fn nan_ordering_accepts_total_cmp_and_handled_partial_cmp() {
+        let total = "fn f() { v.sort_by(f64::total_cmp); }\n";
+        assert!(rules_of(total, lib_ctx()).is_empty());
+        let handled = "fn f() -> Option<Ordering> { a.partial_cmp(&b) }\n";
+        assert!(rules_of(handled, lib_ctx()).is_empty());
+        let less = "fn f() { let o = a.partial_cmp(&b).unwrap_or(Ordering::Less); drop(o); }\n";
+        assert!(rules_of(less, lib_ctx()).is_empty());
+    }
+
+    // ---- lossy-cast ----
+
+    #[test]
+    fn lossy_cast_flags_narrowing_in_kernels() {
+        for src in [
+            "fn f(x: f64) -> f32 { x as f32 }\n",
+            "fn f(x: usize) -> u32 { x as u32 }\n",
+            "fn f(x: f64) -> usize { x.floor() as usize }\n",
+            "fn f(x: f64) -> u64 { x.round() as u64 }\n",
+        ] {
+            assert_eq!(rules_of(src, kernel_ctx()), vec![Rule::LossyCast], "{src}");
+        }
+    }
+
+    #[test]
+    fn lossy_cast_accepts_widening_annotated_and_non_kernel() {
+        for src in [
+            "fn f(i: usize) -> f64 { i as f64 }\n",
+            "fn f(i: u32) -> u64 { u64::from(i) }\n",
+            "fn f(x: f64) -> usize { x.floor() as usize } // lint: allow(lossy-cast) — bounded by grid len\n",
+        ] {
+            assert!(rules_of(src, kernel_ctx()).is_empty(), "{src}");
+        }
+        let non_kernel = "fn f(x: f64) -> f32 { x as f32 }\n";
+        assert!(rules_of(non_kernel, lib_ctx()).is_empty());
+    }
+
+    // ---- crate-root-attrs ----
+
+    #[test]
+    fn crate_root_attrs_requires_both_attributes() {
+        let root_ctx = FileCtx {
+            crate_name: "core",
+            is_library: true,
+            is_crate_root: true,
+        };
+        let bare = "//! docs\npub fn f() {}\n";
+        let rules = rules_of(bare, root_ctx);
+        assert_eq!(rules, vec![Rule::CrateRootAttrs, Rule::CrateRootAttrs]);
+        let good = "//! docs\n#![forbid(unsafe_code)]\n#![warn(missing_docs)]\npub fn f() {}\n";
+        assert!(rules_of(good, root_ctx).is_empty());
+        let non_root = "pub fn f() {}\n";
+        assert!(rules_of(non_root, lib_ctx()).is_empty());
+        // Mentioning the attributes in a string no longer satisfies the
+        // rule (the old scanner's `source.contains` did).
+        let faked =
+            "//! docs\nconst S: &str = \"#![forbid(unsafe_code)] #![warn(missing_docs)]\";\n";
+        assert_eq!(
+            rules_of(faked, root_ctx),
+            vec![Rule::CrateRootAttrs, Rule::CrateRootAttrs]
+        );
+    }
+
+    // ---- no-raw-stderr ----
+
+    #[test]
+    fn no_raw_stderr_flags_print_macros_in_library_code() {
+        for src in [
+            "fn f() { eprintln!(\"status\"); }\n",
+            "fn f() { eprint!(\"status\"); }\n",
+            "fn f() { println!(\"{x}\"); }\n",
+            "fn f() { print!(\"{x}\"); }\n",
+        ] {
+            assert_eq!(rules_of(src, lib_ctx()), vec![Rule::NoRawStderr], "{src}");
+        }
+    }
+
+    #[test]
+    fn no_raw_stderr_exempts_bins_tests_strings_and_lookalikes() {
+        let binary = FileCtx {
+            is_library: false,
+            ..lib_ctx()
+        };
+        assert!(rules_of("fn main() { println!(\"ok\"); }\n", binary).is_empty());
+        let test_mod = "#[cfg(test)]\nmod tests {\n fn t() { eprintln!(\"dbg\"); }\n}\n";
+        assert!(rules_of(test_mod, lib_ctx()).is_empty());
+        for src in [
+            "fn f() { let s = \"println!\"; drop(s); }\n",
+            "// println! is banned here\nfn f() {}\n",
+            "fn f(w: &mut W) { writeln!(w, \"x\").ok(); }\n",
+            "my_println!(\"macro with a suffix match\");\n",
+        ] {
+            assert!(rules_of(src, lib_ctx()).is_empty(), "{src}");
+        }
+    }
+
+    // ---- db-linear ----
+
+    #[test]
+    fn db_linear_flags_mixed_arithmetic() {
+        for src in [
+            "fn f() { let x = gain_db * noise_power; }\n",
+            "fn f() { let x = signal_mw / loss_db; }\n",
+            "fn f() { let x = rssi_dbm * amplitude_mag; }\n",
+        ] {
+            assert_eq!(rules_of(src, lib_ctx()), vec![Rule::DbLinear], "{src}");
+        }
+    }
+
+    #[test]
+    fn db_linear_accepts_scalars_and_same_unit_math() {
+        for src in [
+            "fn f() { let x = gain_db * 0.5; }\n",
+            "fn f() { let x = gain_db - other_db; }\n",
+            "fn f() { let x = signal_mw * path_gain_lin; }\n",
+            "fn f() { let x = gain_db / 10.0; }\n",
+        ] {
+            assert!(rules_of(src, lib_ctx()).is_empty(), "{src}");
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Small navigation helpers over the flat token stream: delimiter
+//! matching, method-call shape detection, receiver resolution. Shared by
+//! every rule pass so structural questions ("what is `.lock()` called
+//! on?") are answered one way.
+
+use crate::lexer::{Token, TokenKind};
+
+/// For an opening `(`/`[`/`{` at `open`, returns the index of its
+/// matching close delimiter.
+#[must_use]
+pub fn matching_close(tokens: &[Token], open: usize) -> Option<usize> {
+    let (o, c) = match tokens.get(open)? {
+        t if t.is_punct('(') => ('(', ')'),
+        t if t.is_punct('[') => ('[', ']'),
+        t if t.is_punct('{') => ('{', '}'),
+        _ => return None,
+    };
+    let mut depth = 0i64;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct(o) {
+            depth += 1;
+        } else if t.is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// For a closing `)`/`]`/`}` at `close`, returns the index of its
+/// matching open delimiter.
+#[must_use]
+pub fn matching_open(tokens: &[Token], close: usize) -> Option<usize> {
+    let (o, c) = match tokens.get(close)? {
+        t if t.is_punct(')') => ('(', ')'),
+        t if t.is_punct(']') => ('[', ']'),
+        t if t.is_punct('}') => ('{', '}'),
+        _ => return None,
+    };
+    let mut depth = 0i64;
+    for j in (0..=close).rev() {
+        let t = &tokens[j];
+        if t.is_punct(c) {
+            depth += 1;
+        } else if t.is_punct(o) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// True when the ident at `i` is a method call: preceded by `.` and
+/// followed by `(` (turbofish-free, which is all this codebase uses).
+#[must_use]
+pub fn is_method_call(tokens: &[Token], i: usize) -> bool {
+    tokens[i].kind == TokenKind::Ident
+        && i > 0
+        && tokens[i - 1].is_punct('.')
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+}
+
+/// For a method-call ident at `i`, resolves the receiver's trailing
+/// identifier: `self.state.lock()` → `state`, `slots[i].lock()` →
+/// `slots`, `subscriber_slot().lock()` → `subscriber_slot`. Returns the
+/// token index of that identifier.
+#[must_use]
+pub fn receiver_of(tokens: &[Token], i: usize) -> Option<usize> {
+    // i-1 is the `.`; the receiver expression ends at i-2.
+    let mut j = i.checked_sub(2)?;
+    // Skip one trailing call/index group: `f()` or `xs[k]`.
+    if tokens[j].is_punct(')') || tokens[j].is_punct(']') {
+        j = matching_open(tokens, j)?.checked_sub(1)?;
+    }
+    (tokens[j].kind == TokenKind::Ident).then_some(j)
+}
+
+/// Index of the next token after the call group of the method-call
+/// ident at `i` (i.e. after the `)` matching its `(`).
+#[must_use]
+pub fn after_call(tokens: &[Token], i: usize) -> Option<usize> {
+    matching_close(tokens, i + 1).map(|c| c + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{after_call, is_method_call, receiver_of};
+    use crate::lexer::SourceFile;
+
+    fn idx_of(f: &SourceFile, name: &str) -> usize {
+        f.tokens.iter().position(|t| t.is_ident(name)).unwrap()
+    }
+
+    #[test]
+    fn receivers_resolve_through_calls_and_indexing() {
+        for (src, want) in [
+            ("self.state.lock()", "state"),
+            ("slots[i].lock()", "slots"),
+            ("subscriber_slot().lock()", "subscriber_slot"),
+            ("LOCK.lock()", "LOCK"),
+        ] {
+            let f = SourceFile::lex(src);
+            let i = idx_of(&f, "lock");
+            assert!(is_method_call(&f.tokens, i), "{src}");
+            let r = receiver_of(&f.tokens, i).unwrap();
+            assert_eq!(f.tokens[r].text, want, "{src}");
+        }
+    }
+
+    #[test]
+    fn after_call_skips_the_argument_group() {
+        let f = SourceFile::lex("x.lock(a, (b, c)).unwrap()");
+        let i = idx_of(&f, "lock");
+        let after = after_call(&f.tokens, i).unwrap();
+        assert!(f.tokens[after].is_punct('.'));
+        assert!(f.tokens[after + 1].is_ident("unwrap"));
+    }
+
+    #[test]
+    fn plain_function_calls_are_not_method_calls() {
+        let f = SourceFile::lex("fn push(x: T) {} lock();");
+        let i = idx_of(&f, "lock");
+        assert!(!is_method_call(&f.tokens, i));
+    }
+}

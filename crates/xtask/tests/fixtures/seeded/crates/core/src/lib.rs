@@ -1,0 +1,56 @@
+//! Fixture result-affecting crate: determinism-taint seeds — one true
+//! positive per `det-*` rule, one annotated escape hatch, and the
+//! false-positive guards (ordered collections, `#[cfg(test)]` modules,
+//! mentions inside strings and comments).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+/// `det-unordered` must fire — exactly once, despite two mentions on
+/// the offending line.
+pub fn unordered() -> usize {
+    let m: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    m.len()
+}
+
+/// `det-wall-clock` must fire on the body line.
+pub fn timed() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().subsec_nanos().into()
+}
+
+/// `det-thread-id` must fire on the body line.
+pub fn who() -> usize {
+    format!("{:?}", std::thread::current().id()).len()
+}
+
+/// `det-unseeded-rng` must fire on the body line.
+pub fn entropy() -> f64 {
+    rand::random()
+}
+
+/// Annotated escape hatch: quiet.
+pub fn pinned_clock() {
+    // lint: allow(det-wall-clock) — fixture: measured span is discarded
+    let _ = std::time::Instant::now();
+}
+
+/// False-positive guards: ordered maps are the sanctioned tool, and a
+/// string mention of `Instant::now` must never fire.
+pub fn ordered(m: &BTreeMap<u32, u32>) -> usize {
+    let banned = "Instant::now";
+    m.len() + banned.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    #[test]
+    fn tests_may_use_hash_collections() {
+        let s: HashSet<u32> = HashSet::new();
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,69 @@
+//! Fixture observability crate: metrics/obs contract seeds — malformed
+//! and unregistered metric names, a kind mismatch, registered uses that
+//! must stay quiet, plus the obs-side lock-order checks and the
+//! determinism false-positive guard (obs is outside the taint scope).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
+
+/// Sink with two ranked locks.
+pub struct Sink {
+    /// Declared `lock obs.first`.
+    pub first: Mutex<u32>,
+    /// Declared `lock obs.second`.
+    pub second: Mutex<u32>,
+}
+
+impl Sink {
+    /// Acquisitions in manifest order: quiet.
+    pub fn ordered(&self) -> u32 {
+        let a = *self.first.lock().unwrap_or_else(PoisonError::into_inner);
+        let b = *self.second.lock().unwrap_or_else(PoisonError::into_inner);
+        a + b
+    }
+
+    /// Rank inversion: `lock-order` must fire on the second acquisition.
+    pub fn inverted(&self) -> u32 {
+        let b = *self.second.lock().unwrap_or_else(PoisonError::into_inner);
+        let a = *self.first.lock().unwrap_or_else(PoisonError::into_inner);
+        a + b
+    }
+}
+
+/// obs is outside the determinism taint scope: wall-clock reads here
+/// must stay quiet (false-positive guard for `det-wall-clock`).
+pub fn timestamp() -> Instant {
+    Instant::now()
+}
+
+/// Registered metric uses: quiet.
+pub fn counts() {
+    counter!("obs.registered_total");
+    stage!("obs.good_stage");
+}
+
+/// Malformed name: `metric-name` must fire (and suppress the registry
+/// check for this site).
+pub fn misnamed() {
+    counter!("badName");
+}
+
+/// Unregistered name: `metric-registry` must fire.
+pub fn unregistered() {
+    counter!("obs.unregistered_total");
+}
+
+/// Registered as a gauge: `metric-registry` must flag the kind
+/// mismatch.
+pub fn mismatched() {
+    counter!("obs.wrong_kind_total");
+}
+
+/// Annotated escape hatch: quiet.
+pub fn experimental() {
+    // lint: allow(metric-registry) — fixture: staging metric, not yet on dashboards
+    counter!("obs.experimental_total");
+}

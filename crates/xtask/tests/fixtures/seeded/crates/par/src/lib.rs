@@ -1,18 +1,77 @@
-//! Fixture parallel-layer crate: proves the lint walker covers
-//! `crates/par` like any other member — one planted `no-panic`
-//! violation (a poisoned-lock unwrap) and one annotated escape hatch
-//! that must stay quiet.
+//! Fixture parallel-layer crate: concurrency-audit seeds — a claimed
+//! `lock-unwrap`, `lock-order` rank inversions against the fixture
+//! `LOCK_ORDER.txt`, and channel sends with and without a documented
+//! backpressure story.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
+/// `lock-unwrap` must fire here — and must claim the token so
+/// `no-panic` stays quiet (exactly one finding for this line).
 pub fn locks_carelessly(m: &Mutex<u32>) -> u32 {
     *m.lock().unwrap()
 }
 
+/// Vetted escape hatch: the annotated `lock-unwrap` stays quiet.
 pub fn locks_deliberately(m: &Mutex<u32>) -> u32 {
-    // lint: allow(no-panic) — fixture: poisoning recovered by the caller
+    // lint: allow(lock-unwrap) — fixture: poisoning recovered by the caller
     *m.lock().expect("fixture lock")
+}
+
+/// Ranked locks plus a declared channel, mirroring the real pool.
+pub struct Pool {
+    /// Declared `lock par.a` (ranked before `b`).
+    pub a: Mutex<u32>,
+    /// Declared `lock par.b`.
+    pub b: Mutex<u32>,
+    /// Declared `channel par.jobs`.
+    pub jobs: Vec<u32>,
+    /// Plain buffer — pushes here are not channel sends.
+    pub scratch: Vec<u32>,
+}
+
+impl Pool {
+    /// Acquisitions in manifest order: quiet.
+    pub fn in_order(&self) -> u32 {
+        let a = *self.a.lock().unwrap_or_else(PoisonError::into_inner);
+        let b = *self.b.lock().unwrap_or_else(PoisonError::into_inner);
+        a + b
+    }
+
+    /// Rank inversion: `lock-order` must fire on the second acquisition.
+    pub fn inverted(&self) -> u32 {
+        let b = *self.b.lock().unwrap_or_else(PoisonError::into_inner);
+        let a = *self.a.lock().unwrap_or_else(PoisonError::into_inner);
+        a + b
+    }
+
+    /// Undeclared lock: `lock-order` must fire.
+    pub fn rogue(&self, extra: &Mutex<u32>) -> u32 {
+        *extra.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Undocumented channel send: `chan-discipline` must fire.
+    pub fn feed(&mut self, job: u32) {
+        self.jobs.push(job);
+    }
+
+    /// Documented channel send: quiet.
+    pub fn feed_documented(&mut self, job: u32) {
+        // Backpressure: bounded upstream; on disconnect the queue is
+        // dropped and pending jobs are discarded.
+        self.jobs.push(job);
+    }
+
+    /// Annotated channel send: quiet.
+    pub fn feed_vetted(&mut self, job: u32) {
+        // lint: allow(chan-discipline) — fixture: infallible in-memory queue
+        self.jobs.push(job);
+    }
+
+    /// Vec push on an undeclared receiver: quiet (false-positive guard).
+    pub fn note(&mut self, v: u32) {
+        self.scratch.push(v);
+    }
 }
