@@ -45,6 +45,106 @@ pub fn los_power_split(h0_power: f64, freqs_hz: &[f64]) -> Vec<f64> {
         .collect()
 }
 
+/// Precomputed per-grid state for the μ_k estimator.
+///
+/// Eq. 10's LOS split is `P_L(f_k) = (K·f_k⁻²/Σ_j f_j⁻²) · |ĥ(0)|²`:
+/// everything left of `|ĥ(0)|²` depends only on the frequency grid, so a
+/// monitoring window (25 packets × 3 antennas on the same band plan)
+/// recomputed it 75 times. The grid hoists that prefix once; per row the
+/// split is one multiply. Factor values are bit-identical to the free
+/// functions below — the prefix is the identical left-associated
+/// sub-expression of Eq. 10's original formulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MuGrid {
+    freqs_hz: Vec<f64>,
+    /// `K·f_k⁻²/Σ_j f_j⁻²` per subcarrier.
+    split_prefix: Vec<f64>,
+}
+
+impl MuGrid {
+    /// Precomputes the split prefix for a frequency grid.
+    ///
+    /// # Panics
+    /// Panics if the grid is empty.
+    pub fn new(freqs_hz: &[f64]) -> Self {
+        assert!(!freqs_hz.is_empty(), "frequency grid must be non-empty");
+        let k = freqs_hz.len() as f64;
+        let inv_sq_sum: f64 = freqs_hz.iter().map(|f| f.powi(-2)).sum();
+        let split_prefix = freqs_hz
+            .iter()
+            .map(|f| k * f.powi(-2) / inv_sq_sum)
+            .collect();
+        MuGrid {
+            freqs_hz: freqs_hz.to_vec(),
+            split_prefix,
+        }
+    }
+
+    /// The frequency grid the prefix was built for.
+    pub fn freqs_hz(&self) -> &[f64] {
+        &self.freqs_hz
+    }
+
+    /// Multipath factors `μ_k` of one antenna row (Eq. 11), written into
+    /// `out` (cleared and refilled) — the allocation-free core of
+    /// [`multipath_factors_row`].
+    ///
+    /// # Panics
+    /// Panics if the row length differs from the grid length.
+    pub fn row_factors_into(&self, csi_row: &[Complex64], out: &mut Vec<f64>) {
+        assert_eq!(
+            csi_row.len(),
+            self.freqs_hz.len(),
+            "CSI row and frequency grid must have equal length"
+        );
+        let h0 = dominant_tap_power(csi_row, &self.freqs_hz);
+        out.clear();
+        out.extend(csi_row.iter().zip(&self.split_prefix).map(|(h, &pre)| {
+            let p = pre * h0;
+            let power = h.norm_sqr();
+            if power <= f64::MIN_POSITIVE {
+                0.0
+            } else {
+                p / power
+            }
+        }));
+        contract::assert_non_negative("multipath factors μ (row)", out);
+    }
+
+    /// Antenna-averaged packet factors (Eq. 11), written into the `out`
+    /// slice — the allocation-free core of [`multipath_factors`].
+    /// `row_buf` is caller-provided scratch reused across packets.
+    ///
+    /// # Panics
+    /// Panics if the packet's subcarrier count or `out.len()` differs
+    /// from the grid length.
+    pub fn packet_factors_into(&self, packet: &CsiPacket, row_buf: &mut Vec<f64>, out: &mut [f64]) {
+        assert_eq!(
+            packet.subcarriers(),
+            self.freqs_hz.len(),
+            "frequency grid must match packet subcarriers"
+        );
+        assert_eq!(
+            out.len(),
+            self.freqs_hz.len(),
+            "output length must match the frequency grid"
+        );
+        for v in out.iter_mut() {
+            *v = 0.0;
+        }
+        for a in 0..packet.antennas() {
+            self.row_factors_into(packet.antenna_row(a), row_buf);
+            for (slot, &v) in out.iter_mut().zip(row_buf.iter()) {
+                *slot += v;
+            }
+        }
+        for v in out.iter_mut() {
+            *v /= packet.antennas() as f64;
+        }
+        contract::assert_non_negative("multipath factors μ (packet)", out);
+    }
+}
+
 /// Multipath factors `μ_k` for one antenna row (Eq. 11).
 ///
 /// Subcarriers with (numerically) zero power get `μ_k = 0` rather than an
@@ -53,27 +153,10 @@ pub fn los_power_split(h0_power: f64, freqs_hz: &[f64]) -> Vec<f64> {
 /// # Panics
 /// Panics if the row and frequency grid lengths differ or are empty.
 pub fn multipath_factors_row(csi_row: &[Complex64], freqs_hz: &[f64]) -> Vec<f64> {
-    assert_eq!(
-        csi_row.len(),
-        freqs_hz.len(),
-        "CSI row and frequency grid must have equal length"
-    );
-    let h0 = dominant_tap_power(csi_row, freqs_hz);
-    let pl = los_power_split(h0, freqs_hz);
-    let mus: Vec<f64> = csi_row
-        .iter()
-        .zip(pl)
-        .map(|(h, p)| {
-            let power = h.norm_sqr();
-            if power <= f64::MIN_POSITIVE {
-                0.0
-            } else {
-                p / power
-            }
-        })
-        .collect();
-    contract::assert_non_negative("multipath factors μ (row)", &mus);
-    mus
+    let grid = MuGrid::new(freqs_hz);
+    let mut out = Vec::with_capacity(csi_row.len());
+    grid.row_factors_into(csi_row, &mut out);
+    out
 }
 
 /// Multipath factors for a whole packet, averaged over antennas —
@@ -85,25 +168,11 @@ pub fn multipath_factors_row(csi_row: &[Complex64], freqs_hz: &[f64]) -> Vec<f64
 /// subcarrier count.
 pub fn multipath_factors(packet: &CsiPacket, freqs_hz: &[f64]) -> Vec<f64> {
     let _stage = mpdf_obs::stage!("core.mu_k");
-    assert_eq!(
-        packet.subcarriers(),
-        freqs_hz.len(),
-        "frequency grid must match packet subcarriers"
-    );
-    let mut acc = vec![0.0; packet.subcarriers()];
-    for a in 0..packet.antennas() {
-        for (slot, v) in acc
-            .iter_mut()
-            .zip(multipath_factors_row(packet.antenna_row(a), freqs_hz))
-        {
-            *slot += v;
-        }
-    }
-    for v in &mut acc {
-        *v /= packet.antennas() as f64;
-    }
-    contract::assert_non_negative("multipath factors μ (packet)", &acc);
-    acc
+    let grid = MuGrid::new(freqs_hz);
+    let mut out = vec![0.0; packet.subcarriers()];
+    let mut row_buf = Vec::with_capacity(packet.subcarriers());
+    grid.packet_factors_into(packet, &mut row_buf, &mut out);
+    out
 }
 
 #[cfg(test)]
@@ -220,6 +289,51 @@ mod tests {
     #[should_panic(expected = "equal length")]
     fn length_mismatch_panics() {
         let _ = multipath_factors_row(&[Complex64::ONE], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn grid_factors_are_bitwise_identical_to_direct_formulation() {
+        // The hoisted split prefix must not perturb a single bit: it is
+        // the same left-associated sub-expression Eq. 10 evaluated
+        // per call before the hoist.
+        let freqs = band_freqs();
+        let grid = MuGrid::new(&freqs);
+        let row: Vec<Complex64> = freqs
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| {
+                let phi = 2.0 * std::f64::consts::PI * f * 11.3 / mpdf_propagation::SPEED_OF_LIGHT;
+                Complex64::from_polar(0.9 + 0.01 * i as f64, -phi)
+                    + Complex64::from_polar(0.6, 0.37 * i as f64)
+            })
+            .collect();
+        // Row level: grid vs reference split arithmetic.
+        let h0 = dominant_tap_power(&row, &freqs);
+        let pl = los_power_split(h0, &freqs);
+        let mut out = Vec::new();
+        grid.row_factors_into(&row, &mut out);
+        for (i, (&mu, (h, p))) in out.iter().zip(row.iter().zip(pl)).enumerate() {
+            let reference = {
+                let power = h.norm_sqr();
+                if power <= f64::MIN_POSITIVE {
+                    0.0
+                } else {
+                    p / power
+                }
+            };
+            assert_eq!(mu.to_bits(), reference.to_bits(), "subcarrier {i}");
+        }
+        // Packet level: buffered path vs the allocating wrapper.
+        let mut data = row.clone();
+        data.extend(row.iter().map(|&z| z * Complex64::new(0.2, 0.8)));
+        let packet = CsiPacket::new(2, 30, data, 0, 0.0);
+        let wrapper = multipath_factors(&packet, &freqs);
+        let mut row_buf = Vec::new();
+        let mut buffered = vec![0.0; 30];
+        grid.packet_factors_into(&packet, &mut row_buf, &mut buffered);
+        for (i, (a, b)) in wrapper.iter().zip(&buffered).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "subcarrier {i}");
+        }
     }
 
     mod properties {

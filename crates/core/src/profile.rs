@@ -13,13 +13,13 @@
 
 use serde::{Deserialize, Serialize};
 
-use mpdf_music::covariance::{forward_backward, sample_covariance};
+use mpdf_music::covariance::{forward_backward, SlidingCovariance};
 use mpdf_music::music::{pseudospectrum, AngleGrid, Pseudospectrum, UlaSteering};
 use mpdf_rfmath::matrix::CMatrix;
 use mpdf_wifi::band::Band;
 use mpdf_wifi::csi::CsiPacket;
 use mpdf_wifi::quarantine::{classify, PacketClass, QuarantinePolicy};
-use mpdf_wifi::sanitize::sanitize_packet;
+use mpdf_wifi::sanitize::{sanitize_packet_with, SanitizeScratch};
 
 use crate::error::DetectError;
 use crate::path_weight::PathWeights;
@@ -127,13 +127,14 @@ impl CalibrationProfile {
             return Err(DetectError::EmptyWindow);
         }
 
-        // Sanitize copies.
+        // Sanitize copies (one scratch carried across the capture).
         let indices = config.band.indices();
+        let mut scratch = SanitizeScratch::new();
         let sanitized: Vec<CsiPacket> = kept
             .iter()
             .map(|p| {
                 let mut q = (*p).clone();
-                sanitize_packet(&mut q, indices);
+                sanitize_packet_with(&mut scratch, &mut q, indices);
                 q
             })
             .collect();
@@ -157,11 +158,21 @@ impl CalibrationProfile {
         // calibration capture.
         let static_power = CsiPacket::median_power_profile(&sanitized);
 
-        // Per-subcarrier covariances and the pooled static spectrum.
+        // Per-subcarrier covariances and the pooled static spectrum. One
+        // incremental accumulator is reset and refilled per subcarrier —
+        // bitwise the batch estimate, without per-snapshot `Vec` churn.
         let mut static_covariances = Vec::with_capacity(subcarriers);
+        let mut sliding = SlidingCovariance::new(antennas, sanitized.len());
+        let mut col = Vec::with_capacity(antennas);
         for k in 0..subcarriers {
-            let snaps: Vec<_> = sanitized.iter().map(|p| p.subcarrier_column(k)).collect();
-            let r = sample_covariance(&snaps).map_err(mpdf_music::music::MusicError::from)?;
+            sliding.reset();
+            for p in &sanitized {
+                p.subcarrier_column_into(k, &mut col);
+                sliding.push(&col);
+            }
+            let r = sliding
+                .covariance()
+                .map_err(mpdf_music::music::MusicError::from)?;
             static_covariances.push(forward_backward(&r));
         }
         let pooled = pool_covariances(&static_covariances, None);
@@ -293,13 +304,16 @@ impl CalibrationProfile {
 pub fn pool_covariances(covs: &[CMatrix], weights: Option<&[f64]>) -> CMatrix {
     assert!(!covs.is_empty(), "no covariances to pool");
     let m = covs[0].rows();
+    // In-place accumulation: entries see the identical `a + b` /
+    // `a + b.scale(w)` arithmetic the operator formulation ran, without
+    // the two temporary matrices it allocated per subcarrier.
     let mut acc = CMatrix::zeros(m, m);
     match weights {
         None => {
             for r in covs {
-                acc = &acc + r;
+                acc.add_in_place(r);
             }
-            acc.scale(1.0 / covs.len() as f64)
+            acc.scale_in_place(1.0 / covs.len() as f64);
         }
         Some(w) => {
             assert_eq!(w.len(), covs.len(), "weight length mismatch");
@@ -310,11 +324,12 @@ pub fn pool_covariances(covs: &[CMatrix], weights: Option<&[f64]>) -> CMatrix {
                 total
             };
             for (r, &wk) in covs.iter().zip(w) {
-                acc = &acc + &r.scale(wk);
+                acc.axpy(wk, r);
             }
-            acc.scale(1.0 / total)
+            acc.scale_in_place(1.0 / total);
         }
     }
+    acc
 }
 
 #[cfg(test)]

@@ -10,10 +10,11 @@
 //! Every scheme maps a monitoring window of packets to a scalar score;
 //! larger scores mean "more different from the calibration profile".
 
-use mpdf_music::covariance::{forward_backward, sample_covariance};
+use mpdf_music::covariance::forward_backward;
 use mpdf_music::music::bartlett_spectrum;
+use mpdf_rfmath::complex::Complex64;
 use mpdf_wifi::csi::CsiPacket;
-use mpdf_wifi::sanitize::sanitize_packet;
+use mpdf_wifi::sanitize::{sanitize_packet_with, SanitizeScratch};
 
 use crate::degrade::{assess_window, WindowHealth};
 use crate::error::DetectError;
@@ -57,22 +58,93 @@ pub trait DetectionScheme {
     }
 }
 
+/// One memoized quarantine-and-sanitize result (see [`sanitized_window`]).
+///
+/// The key is the *entire input by value*: raw window content compared
+/// bitwise plus every configuration field the pass reads (profile shape,
+/// quarantine policy, gap budget, OFDM indices). A hit therefore returns
+/// exactly what recomputation would produce — the memo cannot perturb
+/// byte-identity, only skip redundant work.
+struct SanitizeMemo {
+    shape: (usize, usize),
+    gap_budget: usize,
+    policy: mpdf_wifi::quarantine::QuarantinePolicy,
+    indices: Vec<i32>,
+    raw: Vec<CsiPacket>,
+    sanitized: Vec<CsiPacket>,
+    health: WindowHealth,
+}
+
+impl SanitizeMemo {
+    fn matches(
+        &self,
+        profile: &CalibrationProfile,
+        window: &[CsiPacket],
+        config: &DetectorConfig,
+        indices: &[i32],
+    ) -> bool {
+        self.shape == (profile.antennas(), profile.subcarriers())
+            && self.gap_budget == config.gap_budget
+            && self.policy.saturation_amp.to_bits() == config.quarantine.saturation_amp.to_bits()
+            && self.policy.max_saturated_frac.to_bits()
+                == config.quarantine.max_saturated_frac.to_bits()
+            && self.policy.min_usable_antennas == config.quarantine.min_usable_antennas
+            && self.indices == indices
+            && self.raw.len() == window.len()
+            && self.raw.iter().zip(window).all(|(a, b)| a.bits_eq(b))
+    }
+}
+
+thread_local! {
+    /// Last sanitized window per thread. Every scheme scores through the
+    /// same quarantine + phase-sanitization pass, so a campaign scoring a
+    /// window under several schemes back-to-back repays the full pass
+    /// once and replays it for the rest (a content-bitwise hit costs a
+    /// 36 KB compare + clone instead of ~750 `atan2`/`cis` evaluations).
+    static SANITIZED_MEMO: std::cell::RefCell<Option<SanitizeMemo>> =
+        const { std::cell::RefCell::new(None) };
+}
+
 /// Quarantines and validates a window (see [`assess_window`]), then
 /// returns sanitized copies of the survivors plus the health report.
+/// Results are memoized per thread keyed on the full input content.
 fn sanitized_window(
     profile: &CalibrationProfile,
     window: &[CsiPacket],
     config: &DetectorConfig,
 ) -> Result<(Vec<CsiPacket>, WindowHealth), DetectError> {
-    let (kept, health) = assess_window(profile, window, config)?;
     let indices = config.band.indices();
-    let sanitized = kept
+    let hit = SANITIZED_MEMO.with(|memo| {
+        memo.borrow().as_ref().and_then(|m| {
+            m.matches(profile, window, config, indices)
+                .then(|| (m.sanitized.clone(), m.health.clone()))
+        })
+    });
+    if let Some(cached) = hit {
+        mpdf_obs::counter!("core.sanitize_memo.hits").inc();
+        return Ok(cached);
+    }
+    mpdf_obs::counter!("core.sanitize_memo.misses").inc();
+    let (kept, health) = assess_window(profile, window, config)?;
+    let mut scratch = SanitizeScratch::new();
+    let sanitized: Vec<CsiPacket> = kept
         .into_iter()
         .map(|mut q| {
-            sanitize_packet(&mut q, indices);
+            sanitize_packet_with(&mut scratch, &mut q, indices);
             q
         })
         .collect();
+    SANITIZED_MEMO.with(|memo| {
+        *memo.borrow_mut() = Some(SanitizeMemo {
+            shape: (profile.antennas(), profile.subcarriers()),
+            gap_budget: config.gap_budget,
+            policy: config.quarantine,
+            indices: indices.to_vec(),
+            raw: window.to_vec(),
+            sanitized: sanitized.clone(),
+            health: health.clone(),
+        });
+    });
     Ok((sanitized, health))
 }
 
@@ -240,19 +312,78 @@ impl DetectionScheme for SubcarrierWeighting {
 pub struct SubcarrierAndPathWeighting;
 
 impl SubcarrierAndPathWeighting {
+    /// Per-subcarrier forward–backward covariances of a sanitized
+    /// window, accumulated structure-of-arrays: one pass over the
+    /// packets rank-1-updates every subcarrier's flat accumulator, so
+    /// each packet's CSI is read once in row order instead of 30 strided
+    /// column gathers. Per accumulator the update sequence — `+=
+    /// u_r·conj(u_c)` in packet order, then one `1/N` scale — is the
+    /// identical arithmetic [`SlidingCovariance`] runs per subcarrier,
+    /// so every covariance is bitwise the incremental/batch estimate
+    /// (pinned by `soa_covariances_match_sliding_estimator_bitwise`).
+    fn per_subcarrier_fb_covariances(window: &[CsiPacket]) -> Vec<mpdf_rfmath::matrix::CMatrix> {
+        let dim = window[0].antennas();
+        let subcarriers = window[0].subcarriers();
+        let scale = 1.0 / window.len() as f64;
+        if dim == 3 {
+            // The paper's 3-chain array: fixed-size accumulators stay in
+            // registers across the packet loop instead of streaming a
+            // 30×9 accumulator table through cache per packet.
+            let rows: Vec<[&[Complex64]; 3]> = window
+                .iter()
+                .map(|p| [p.antenna_row(0), p.antenna_row(1), p.antenna_row(2)])
+                .collect();
+            return (0..subcarriers)
+                .map(|k| {
+                    let mut acc = [Complex64::ZERO; 9];
+                    for r3 in &rows {
+                        let u = [r3[0][k], r3[1][k], r3[2][k]];
+                        for (r, &ur) in u.iter().enumerate() {
+                            for (c, &uc) in u.iter().enumerate() {
+                                acc[r * 3 + c] += ur * uc.conj();
+                            }
+                        }
+                    }
+                    let mut m = mpdf_rfmath::matrix::CMatrix::from_rows(3, 3, &acc);
+                    m.scale_in_place(scale);
+                    forward_backward(&m)
+                })
+                .collect();
+        }
+        let mut acc = vec![Complex64::ZERO; subcarriers * dim * dim];
+        let mut cols = vec![Complex64::ZERO; subcarriers * dim];
+        for p in window {
+            // Transpose the packet to column-major once: columns become
+            // contiguous `dim`-element snapshots.
+            for r in 0..dim {
+                for (k, &h) in p.antenna_row(r).iter().enumerate() {
+                    cols[k * dim + r] = h;
+                }
+            }
+            for (a, u) in acc.chunks_exact_mut(dim * dim).zip(cols.chunks_exact(dim)) {
+                for (row, &ur) in a.chunks_exact_mut(dim).zip(u) {
+                    for (slot, &uc) in row.iter_mut().zip(u) {
+                        *slot += ur * uc.conj();
+                    }
+                }
+            }
+        }
+        acc.chunks_exact(dim * dim)
+            .map(|chunk| {
+                let mut r = mpdf_rfmath::matrix::CMatrix::from_rows(dim, dim, chunk);
+                r.scale_in_place(scale);
+                forward_backward(&r)
+            })
+            .collect()
+    }
+
     /// Computes the subcarrier-weighted spatial covariance of a sanitized
-    /// window.
+    /// window: the SoA per-subcarrier estimates pooled by Eq. 12 weights.
     fn weighted_covariance(
         window: &[CsiPacket],
         weights: &[f64],
     ) -> Result<mpdf_rfmath::matrix::CMatrix, DetectError> {
-        let subcarriers = window[0].subcarriers();
-        let mut covs = Vec::with_capacity(subcarriers);
-        for k in 0..subcarriers {
-            let snaps: Vec<_> = window.iter().map(|p| p.subcarrier_column(k)).collect();
-            let r = sample_covariance(&snaps).map_err(mpdf_music::music::MusicError::from)?;
-            covs.push(forward_backward(&r));
-        }
+        let covs = Self::per_subcarrier_fb_covariances(window);
         Ok(pool_covariances(&covs, Some(weights)))
     }
 }
@@ -574,6 +705,35 @@ mod tests {
                 budget: cfg.gap_budget
             }
         );
+    }
+
+    #[test]
+    fn soa_covariances_match_sliding_estimator_bitwise() {
+        use mpdf_music::covariance::SlidingCovariance;
+        let window = scene_packets(25, 0.3, -15.0);
+        let soa = SubcarrierAndPathWeighting::per_subcarrier_fb_covariances(&window);
+        assert_eq!(soa.len(), 30);
+        let mut sliding = SlidingCovariance::new(3, window.len());
+        let mut col = Vec::new();
+        for (k, fb_soa) in soa.iter().enumerate() {
+            sliding.reset();
+            for p in &window {
+                p.subcarrier_column_into(k, &mut col);
+                sliding.push(&col);
+            }
+            let fb_ref = forward_backward(&sliding.covariance().unwrap());
+            for r in 0..3 {
+                for c in 0..3 {
+                    let a = fb_soa[(r, c)];
+                    let b = fb_ref[(r, c)];
+                    assert_eq!(
+                        (a.re.to_bits(), a.im.to_bits()),
+                        (b.re.to_bits(), b.im.to_bits()),
+                        "subcarrier {k} entry ({r},{c})"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -16,7 +16,7 @@ use mpdf_rfmath::contract;
 use mpdf_rfmath::stats::median;
 use mpdf_wifi::csi::CsiPacket;
 
-use crate::multipath_factor::multipath_factors;
+use crate::multipath_factor::MuGrid;
 
 /// Single-packet subcarrier weights (Eq. 12): `w_k = |μ_k / Σ_j μ_j|`.
 ///
@@ -67,12 +67,46 @@ impl SubcarrierWeights {
             per_packet_mus.iter().all(|m| m.len() == k),
             "all packets must report the same subcarrier count"
         );
-        let m_count = per_packet_mus.len() as f64;
+        let flat: Vec<f64> = per_packet_mus
+            .iter()
+            .flat_map(|row| row.iter().copied())
+            .collect();
+        SubcarrierWeights::from_flat_factors(&flat, k)
+    }
+
+    /// Computes the weights from a flat row-major `[packet][subcarrier]`
+    /// factor buffer — the allocation-lean core of
+    /// [`SubcarrierWeights::from_factors`], fed directly by the hot
+    /// monitoring path so a 25-packet window fills one contiguous buffer
+    /// instead of 25 per-packet `Vec`s.
+    ///
+    /// A zero `subcarriers` count yields the empty weight set (matching
+    /// the degenerate behaviour of the row-of-empty-rows input).
+    ///
+    /// # Panics
+    /// Panics when `flat` is empty (with `subcarriers > 0`) or is not a
+    /// whole number of packets.
+    pub fn from_flat_factors(flat: &[f64], subcarriers: usize) -> Self {
+        if subcarriers == 0 {
+            return SubcarrierWeights {
+                mean_mu: Vec::new(),
+                stability: Vec::new(),
+                weights: Vec::new(),
+            };
+        }
+        assert!(!flat.is_empty(), "need at least one packet");
+        assert_eq!(
+            flat.len() % subcarriers,
+            0,
+            "flat factors must hold whole packets"
+        );
+        let k = subcarriers;
+        let m_count = (flat.len() / k) as f64;
 
         // Eq. 13/14: per-packet medians and exceedance counts.
         let mut mean_mu = vec![0.0; k];
         let mut exceed = vec![0usize; k];
-        for mus in per_packet_mus {
+        for mus in flat.chunks_exact(k) {
             let med = median(mus);
             for (i, &mu) in mus.iter().enumerate() {
                 mean_mu[i] += mu.min(Self::MU_CLIP);
@@ -116,11 +150,19 @@ impl SubcarrierWeights {
     pub fn from_packets(window: &[CsiPacket], freqs_hz: &[f64]) -> Self {
         let _stage = mpdf_obs::stage!("core.subcarrier_weight");
         assert!(!window.is_empty(), "need at least one packet");
-        let factors: Vec<Vec<f64>> = window
-            .iter()
-            .map(|p| multipath_factors(p, freqs_hz))
-            .collect();
-        SubcarrierWeights::from_factors(&factors)
+        let grid = MuGrid::new(freqs_hz);
+        let k = freqs_hz.len();
+        let mut flat = vec![0.0; window.len() * k];
+        let mut row_buf = Vec::with_capacity(k);
+        {
+            // One μ_k stage per window: the per-packet loop is too hot
+            // for per-call spans, but the phase still shows up in traces.
+            let _mu_stage = mpdf_obs::stage!("core.mu_k");
+            for (p, seg) in window.iter().zip(flat.chunks_exact_mut(k)) {
+                grid.packet_factors_into(p, &mut row_buf, seg);
+            }
+        }
+        SubcarrierWeights::from_flat_factors(&flat, k)
     }
 
     /// Number of subcarriers.
@@ -252,6 +294,34 @@ mod tests {
         // subcarriers report slightly larger μ, so they cannot be
         // weighted below the upper ones.
         assert!(w.weights[0] >= w.weights[29]);
+    }
+
+    #[test]
+    fn flat_factors_match_nested_factors_bitwise() {
+        let mus = vec![
+            vec![0.17, 1.01, 2.3, 0.9],
+            vec![0.21, 1.13, 2.2, 1.4],
+            vec![0.14, 0.92, 1.9, 0.8],
+        ];
+        let nested = SubcarrierWeights::from_factors(&mus);
+        let flat: Vec<f64> = mus.iter().flatten().copied().collect();
+        let flattened = SubcarrierWeights::from_flat_factors(&flat, 4);
+        assert_eq!(nested, flattened);
+        for (a, b) in nested.weights.iter().zip(&flattened.weights) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn zero_subcarriers_yield_empty_weights() {
+        let w = SubcarrierWeights::from_flat_factors(&[], 0);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "whole packets")]
+    fn partial_flat_packet_panics() {
+        let _ = SubcarrierWeights::from_flat_factors(&[1.0, 2.0, 3.0], 2);
     }
 
     #[test]

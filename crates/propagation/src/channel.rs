@@ -10,6 +10,8 @@
 //! report — the true per-frequency LOS power fraction — which the test
 //! suite uses to validate the paper's measurable multipath-factor proxy.
 
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
 use serde::{Deserialize, Serialize};
 
 use mpdf_geom::vec2::{Point, Vec2};
@@ -31,8 +33,79 @@ pub struct ChannelModel {
     #[serde(skip, default = "default_trace_config")]
     trace_cfg: TraceConfig,
     /// Environment paths, traced once — humans only modulate them.
+    /// Shared via the process-wide trace cache: geometry never changes
+    /// within a campaign, so every link with the same (environment, TX,
+    /// RX, trace config) reuses one immutable traced path set.
     #[serde(skip)]
-    static_paths: Vec<PropagationPath>,
+    static_paths: Arc<Vec<PropagationPath>>,
+}
+
+/// One entry of the static-geometry trace cache.
+#[derive(Debug)]
+struct TraceCacheEntry {
+    env: Environment,
+    tx: Point,
+    rx: Point,
+    cfg: TraceConfig,
+    paths: Arc<Vec<PropagationPath>>,
+}
+
+/// Process-wide image-source trace cache. Campaigns trace a handful of
+/// links over and over (every receiver clone / window fork rebuilds its
+/// channel), so a bounded linear-scan vector keyed by exact equality
+/// suffices; a cached path set is always bit-identical to a freshly
+/// traced one because [`trace`] is a pure function of the key.
+static TRACE_CACHE: OnceLock<Mutex<Vec<TraceCacheEntry>>> = OnceLock::new();
+
+/// Cap on distinct cached traces; beyond this the oldest entry is
+/// evicted (protects sweeps over many ad-hoc geometries from unbounded
+/// growth).
+const TRACE_CACHE_CAP: usize = 16;
+
+/// Looks up (or computes and inserts) the traced static path set for a
+/// link. Tracing runs outside the lock: two racing threads at worst
+/// duplicate work, never diverge.
+fn traced_paths_cached(
+    env: &Environment,
+    tx: Point,
+    rx: Point,
+    cfg: &TraceConfig,
+) -> Result<Arc<Vec<PropagationPath>>, TraceError> {
+    let cache = TRACE_CACHE.get_or_init(|| Mutex::new(Vec::new()));
+    {
+        // Cached path sets are immutable once inserted, so a poisoned
+        // lock cannot hold corrupt data — recover instead of panicking.
+        let entries = cache.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(e) = entries
+            .iter()
+            .find(|e| e.tx == tx && e.rx == rx && e.cfg == *cfg && e.env == *env)
+        {
+            mpdf_obs::counter!("physics.trace_cache.hits").inc();
+            return Ok(Arc::clone(&e.paths));
+        }
+    }
+    mpdf_obs::counter!("physics.trace_cache.misses").inc();
+    let paths = Arc::new(trace(env, tx, rx, cfg)?);
+    let mut entries = cache.lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(e) = entries
+        .iter()
+        .find(|e| e.tx == tx && e.rx == rx && e.cfg == *cfg && e.env == *env)
+    {
+        // A sibling thread inserted while we traced; both results are
+        // bit-identical, keep the cached one.
+        return Ok(Arc::clone(&e.paths));
+    }
+    if entries.len() >= TRACE_CACHE_CAP {
+        entries.remove(0);
+    }
+    entries.push(TraceCacheEntry {
+        env: env.clone(),
+        tx,
+        rx,
+        cfg: *cfg,
+        paths: Arc::clone(&paths),
+    });
+    Ok(paths)
 }
 
 // Referenced from the `#[serde(default = "...")]` attribute above, which
@@ -50,7 +123,7 @@ impl ChannelModel {
     /// degenerate link.
     pub fn new(env: Environment, tx: Point, rx: Point) -> Result<Self, TraceError> {
         let trace_cfg = TraceConfig::default();
-        let static_paths = trace(&env, tx, rx, &trace_cfg)?;
+        let static_paths = traced_paths_cached(&env, tx, rx, &trace_cfg)?;
         Ok(ChannelModel {
             env,
             tx,
@@ -72,7 +145,7 @@ impl ChannelModel {
     /// # Errors
     /// Re-validates the link under the new configuration.
     pub fn with_trace_config(mut self, cfg: TraceConfig) -> Result<Self, TraceError> {
-        self.static_paths = trace(&self.env, self.tx, self.rx, &cfg)?;
+        self.static_paths = traced_paths_cached(&self.env, self.tx, self.rx, &cfg)?;
         self.trace_cfg = cfg;
         Ok(self)
     }
@@ -130,15 +203,16 @@ impl ChannelModel {
     /// # Errors
     /// Propagates [`TraceError`].
     pub fn snapshot_multi(&self, humans: &[HumanBody]) -> Result<ChannelSnapshot, TraceError> {
-        let mut paths = self.static_paths.clone();
-        if !humans.is_empty() {
-            paths = paths
-                .into_iter()
-                .map(|p| {
-                    let beta: f64 = humans.iter().map(|b| b.shadow_factor(&p)).product();
-                    p.attenuated(beta)
-                })
-                .collect();
+        let paths = if humans.is_empty() {
+            self.static_paths.as_ref().clone()
+        } else {
+            // One exact-size allocation: attenuate the shared static
+            // paths directly instead of cloning and re-collecting.
+            let mut paths = Vec::with_capacity(self.static_paths.len() + humans.len());
+            for p in self.static_paths.iter() {
+                let beta: f64 = humans.iter().map(|b| b.shadow_factor(p)).product();
+                paths.push(p.attenuated(beta));
+            }
             for (i, body) in humans.iter().enumerate() {
                 if let Some(sp) = body.scatter_path(&self.env, self.tx, self.rx) {
                     let beta: f64 = humans
@@ -150,7 +224,8 @@ impl ChannelModel {
                     paths.push(sp.attenuated(beta));
                 }
             }
-        }
+            paths
+        };
         Ok(ChannelSnapshot {
             paths,
             pathloss: self.pathloss,
@@ -196,12 +271,90 @@ impl ChannelSnapshot {
 
     /// CFR over a frequency grid at the nominal receiver.
     pub fn cfr(&self, freqs: &[f64]) -> Vec<Complex64> {
-        freqs.iter().map(|&f| self.cfr_at(f, Vec2::ZERO)).collect()
+        let mut out = Vec::new();
+        self.cfr_with_offset_into(freqs, Vec2::ZERO, &mut out);
+        out
     }
 
     /// CFR over a frequency grid at a displaced observation point.
     pub fn cfr_with_offset(&self, freqs: &[f64], offset: Vec2) -> Vec<Complex64> {
-        freqs.iter().map(|&f| self.cfr_at(f, offset)).collect()
+        let mut out = Vec::new();
+        self.cfr_with_offset_into(freqs, offset, &mut out);
+        out
+    }
+
+    /// [`ChannelSnapshot::cfr`] writing into a caller-provided buffer
+    /// (cleared and resized), so per-packet evaluation reuses one
+    /// allocation.
+    pub fn cfr_into(&self, freqs: &[f64], out: &mut Vec<Complex64>) {
+        self.cfr_with_offset_into(freqs, Vec2::ZERO, out);
+    }
+
+    /// [`ChannelSnapshot::cfr_with_offset`] writing into a
+    /// caller-provided buffer (cleared and resized).
+    ///
+    /// Batch evaluation hoists the per-path invariants — geometric
+    /// length, the `(4πd)^n` Friis term and the arrival direction — out
+    /// of the frequency loop while evaluating bit-identically the same
+    /// expression tree as [`ChannelSnapshot::cfr_at`]: per sample the
+    /// amplitude, travel phase, element phase shift and path-order
+    /// summation all round exactly as the pointwise form does.
+    pub fn cfr_with_offset_into(&self, freqs: &[f64], offset: Vec2, out: &mut Vec<Complex64>) {
+        out.clear();
+        out.resize(freqs.len(), Complex64::ZERO);
+        for p in &self.paths {
+            let d = p.length();
+            let pd = self.pathloss.distance_term(d);
+            let af = p.amplitude_factor();
+            match p.arrival_direction() {
+                Some(u) => {
+                    // Extra travel to the displaced element: u·offset.
+                    let extra = u.dot(offset);
+                    for (h, &f) in out.iter_mut().zip(freqs) {
+                        let amplitude = af * self.pathloss.amplitude_gain_hoisted(pd, f);
+                        let phase = -2.0 * std::f64::consts::PI * f * d / SPEED_OF_LIGHT;
+                        let g = Complex64::from_polar(amplitude, phase);
+                        *h += g * Complex64::cis(
+                            -2.0 * std::f64::consts::PI * f * extra / SPEED_OF_LIGHT,
+                        );
+                    }
+                }
+                None => {
+                    for (h, &f) in out.iter_mut().zip(freqs) {
+                        let amplitude = af * self.pathloss.amplitude_gain_hoisted(pd, f);
+                        let phase = -2.0 * std::f64::consts::PI * f * d / SPEED_OF_LIGHT;
+                        *h += Complex64::from_polar(amplitude, phase);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Precomputes the offset-invariant part of the CFR over `freqs`:
+    /// one complex base gain per (path, frequency). Evaluating the plan
+    /// at an array-element offset then costs only one `cis` and one
+    /// complex multiply per sample — the receiver amortizes the
+    /// `powf`/`sqrt`/`sin`/`cos` setup across all antennas and (for a
+    /// static scene) all packets of a capture.
+    pub fn cfr_plan(&self, freqs: &[f64]) -> CfrPlan {
+        let mut base = Vec::with_capacity(self.paths.len() * freqs.len());
+        let mut dirs = Vec::with_capacity(self.paths.len());
+        for p in &self.paths {
+            let d = p.length();
+            let pd = self.pathloss.distance_term(d);
+            let af = p.amplitude_factor();
+            dirs.push(p.arrival_direction());
+            for &f in freqs {
+                let amplitude = af * self.pathloss.amplitude_gain_hoisted(pd, f);
+                let phase = -2.0 * std::f64::consts::PI * f * d / SPEED_OF_LIGHT;
+                base.push(Complex64::from_polar(amplitude, phase));
+            }
+        }
+        CfrPlan {
+            freqs: freqs.to_vec(),
+            base,
+            dirs,
+        }
     }
 
     /// **Ground truth** LOS power fraction at frequency `f`: the exact
@@ -238,6 +391,64 @@ impl ChannelSnapshot {
                     .map(|u| (u.angle(), p.amplitude_factor()))
             })
             .collect()
+    }
+}
+
+/// Offset-invariant CFR evaluation plan over a fixed frequency grid —
+/// see [`ChannelSnapshot::cfr_plan`].
+///
+/// The plan stores the complex base gain of every (path, frequency)
+/// pair; [`CfrPlan::eval_into`] applies only the per-element plane-wave
+/// phase shift on top, reproducing [`ChannelSnapshot::cfr_with_offset`]
+/// bit for bit.
+#[derive(Debug, Clone)]
+pub struct CfrPlan {
+    freqs: Vec<f64>,
+    /// Base gain per (path, frequency), row-major `[path][freq]`.
+    base: Vec<Complex64>,
+    /// Arrival direction per path (`None` = degenerate final leg).
+    dirs: Vec<Option<Vec2>>,
+}
+
+impl CfrPlan {
+    /// The frequency grid the plan was built for.
+    pub fn freqs(&self) -> &[f64] {
+        &self.freqs
+    }
+
+    /// Evaluates the CFR at an observation point displaced `offset`
+    /// metres from the nominal receiver, writing into a caller-provided
+    /// buffer (cleared and resized to the grid length).
+    pub fn eval_into(&self, offset: Vec2, out: &mut Vec<Complex64>) {
+        let nf = self.freqs.len();
+        out.clear();
+        out.resize(nf, Complex64::ZERO);
+        for (pi, dir) in self.dirs.iter().enumerate() {
+            let row = &self.base[pi * nf..(pi + 1) * nf];
+            match dir {
+                Some(u) => {
+                    // Extra travel to the displaced element: u·offset.
+                    let extra = u.dot(offset);
+                    for ((h, &g), &f) in out.iter_mut().zip(row).zip(self.freqs.iter()) {
+                        *h += g * Complex64::cis(
+                            -2.0 * std::f64::consts::PI * f * extra / SPEED_OF_LIGHT,
+                        );
+                    }
+                }
+                None => {
+                    for (h, &g) in out.iter_mut().zip(row) {
+                        *h += g;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Evaluates the CFR at `offset` into a fresh vector.
+    pub fn eval(&self, offset: Vec2) -> Vec<Complex64> {
+        let mut out = Vec::new();
+        self.eval_into(offset, &mut out);
+        out
     }
 }
 
@@ -375,6 +586,74 @@ mod tests {
         for (i, &f) in freqs.iter().enumerate() {
             assert_eq!(grid[i], snap.cfr_at(f, Vec2::ZERO));
         }
+    }
+
+    #[test]
+    fn batch_cfr_bitwise_matches_pointwise_at_offsets() {
+        // The perf-critical contract: the hoisted batch evaluation and
+        // the precomputed plan must reproduce `cfr_at` to the bit, for
+        // every path kind (LOS, wall bounces, human scatter) and every
+        // element offset including the nominal receiver.
+        let model = link();
+        let body = HumanBody::new(p(4.0, 3.4));
+        let snap = model.snapshot(Some(&body)).unwrap();
+        let freqs: Vec<f64> = (0..30).map(|k| 2.442e9 + k as f64 * 1.25e6).collect();
+        let offsets = [Vec2::ZERO, Vec2::new(0.0, 0.0609), Vec2::new(-0.031, 0.017)];
+        let plan = snap.cfr_plan(&freqs);
+        let mut buf = Vec::new();
+        for off in offsets {
+            let batch = snap.cfr_with_offset(&freqs, off);
+            plan.eval_into(off, &mut buf);
+            for (k, &f) in freqs.iter().enumerate() {
+                let reference = snap.cfr_at(f, off);
+                assert_eq!(batch[k].re.to_bits(), reference.re.to_bits());
+                assert_eq!(batch[k].im.to_bits(), reference.im.to_bits());
+                assert_eq!(buf[k].re.to_bits(), reference.re.to_bits());
+                assert_eq!(buf[k].im.to_bits(), reference.im.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn trace_cache_shares_identical_geometry_and_invalidates_on_change() {
+        // Distinct models over the same (env, tx, rx, cfg) share one
+        // traced path set (the receiver clones/forks that build channels
+        // repeatedly hit this), while any geometry change re-traces.
+        let a = ChannelModel::new(classroom(), p(2.0, 3.0), p(6.0, 3.0)).unwrap();
+        let b = ChannelModel::new(classroom(), p(2.0, 3.0), p(6.0, 3.0)).unwrap();
+        assert!(
+            std::sync::Arc::ptr_eq(&a.static_paths, &b.static_paths),
+            "identical geometry must reuse the cached trace"
+        );
+        // Reuse is bit-identical by construction (same allocation).
+        assert_eq!(a.static_paths, b.static_paths);
+        // A moved receiver is a different key → different paths.
+        let moved = ChannelModel::new(classroom(), p(2.0, 3.0), p(6.0, 2.0)).unwrap();
+        assert!(!std::sync::Arc::ptr_eq(
+            &a.static_paths,
+            &moved.static_paths
+        ));
+        assert_ne!(a.static_paths, moved.static_paths);
+        // New furniture changes the environment → traced paths change.
+        let mut builder = Environment::builder(
+            mpdf_geom::shapes::Rect::new(p(0.0, 0.0), p(8.0, 6.0)),
+            crate::material::Material::CONCRETE,
+        );
+        builder.furniture(
+            mpdf_geom::shapes::Rect::new(p(3.5, 2.5), p(4.5, 3.5)),
+            crate::material::Material::METAL,
+        );
+        let furnished = ChannelModel::new(builder.build(), p(2.0, 3.0), p(6.0, 3.0)).unwrap();
+        assert!(!std::sync::Arc::ptr_eq(
+            &a.static_paths,
+            &furnished.static_paths
+        ));
+        assert_ne!(a.static_paths, furnished.static_paths);
+        // Only the human moving does NOT re-trace: snapshots of both
+        // models borrow the same static set, modulated per position.
+        let s1 = a.snapshot(Some(&HumanBody::new(p(3.0, 3.2)))).unwrap();
+        let s2 = a.snapshot(Some(&HumanBody::new(p(5.0, 2.8)))).unwrap();
+        assert_ne!(s1, s2, "human position must still modulate the CFR");
     }
 
     #[test]

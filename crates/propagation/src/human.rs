@@ -106,7 +106,11 @@ impl HumanBody {
     pub fn shadow_factor(&self, path: &PropagationPath) -> f64 {
         let disk = self.footprint();
         let mut beta = 1.0;
-        for leg in path.legs() {
+        // Iterate the polyline directly — identical legs to
+        // `path.legs()` without materializing the segment vector (this
+        // runs once per path per snapshot, the hot loop of a campaign).
+        for w in path.vertices().windows(2) {
+            let leg = mpdf_geom::segment::Segment::new(w[0], w[1]);
             let pen = disk.penetration(&leg);
             if pen > 0.0 {
                 beta *= 1.0 - (1.0 - self.min_shadow) * pen;

@@ -71,6 +71,32 @@ impl PathLossModel {
         self.power_gain(d, f).sqrt()
     }
 
+    /// Distance-dependent factor `(4πd)^n` of the Friis denominator,
+    /// hoisted out of the per-frequency loop: batch CFR evaluation pays
+    /// the `powf` once per path instead of once per (path, frequency)
+    /// sample.
+    ///
+    /// # Panics
+    /// Panics if `d <= 0`.
+    pub fn distance_term(&self, d: f64) -> f64 {
+        assert!(d > 0.0, "distance must be positive");
+        (4.0 * std::f64::consts::PI * d).powf(self.exponent)
+    }
+
+    /// [`PathLossModel::amplitude_gain`] with the distance term
+    /// precomputed. Bitwise equal to `amplitude_gain(d, f)` whenever
+    /// `pd == distance_term(d)`: the expression tree (and hence every
+    /// rounding step) is identical, only the `powf` is reused.
+    ///
+    /// # Panics
+    /// Panics if `pd <= 0` or `f <= 0`.
+    pub fn amplitude_gain_hoisted(&self, pd: f64, f: f64) -> f64 {
+        assert!(pd > 0.0, "distance term must be positive");
+        assert!(f > 0.0, "frequency must be positive");
+        let c2 = SPEED_OF_LIGHT * SPEED_OF_LIGHT;
+        (self.antenna_gains * c2 / (pd * f * f)).sqrt()
+    }
+
     /// Wavelength at frequency `f` Hz.
     pub fn wavelength(f: f64) -> f64 {
         SPEED_OF_LIGHT / f
@@ -133,6 +159,23 @@ mod tests {
         let a = m.amplitude_gain(2.5, F);
         let p = m.power_gain(2.5, F);
         assert!((a * a - p).abs() < 1e-15);
+    }
+
+    #[test]
+    fn hoisted_amplitude_gain_is_bitwise_identical() {
+        // The batch CFR path relies on this exact equality: hoisting the
+        // `(4πd)^n` term must not perturb a single bit.
+        for model in [PathLossModel::FREE_SPACE, PathLossModel::indoor_office()] {
+            for d in [0.3, 1.0, 2.5, 4.0, 11.7] {
+                let pd = model.distance_term(d);
+                for f in [2.412e9, F, 5.8e9] {
+                    assert_eq!(
+                        model.amplitude_gain_hoisted(pd, f).to_bits(),
+                        model.amplitude_gain(d, f).to_bits()
+                    );
+                }
+            }
+        }
     }
 
     #[test]

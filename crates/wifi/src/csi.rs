@@ -64,6 +64,23 @@ impl CsiPacket {
         self.subcarriers
     }
 
+    /// Bitwise equality with another packet: identical shape, metadata
+    /// and per-sample bit patterns. Samples compare by representation
+    /// (`to_bits`), so `NaN`s equal themselves — IEEE `==` would make a
+    /// memo key unsound by never matching a poisoned packet and by
+    /// conflating `±0.0`.
+    pub fn bits_eq(&self, other: &Self) -> bool {
+        self.antennas == other.antennas
+            && self.subcarriers == other.subcarriers
+            && self.seq == other.seq
+            && self.timestamp.to_bits() == other.timestamp.to_bits()
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits())
+    }
+
     /// Complex CSI for `(antenna, subcarrier)`.
     ///
     /// # Panics
@@ -85,12 +102,27 @@ impl CsiPacket {
         &self.data[antenna * self.subcarriers..(antenna + 1) * self.subcarriers]
     }
 
+    /// Mutable row view for sanitization passes.
+    pub(crate) fn antenna_row_mut(&mut self, antenna: usize) -> &mut [Complex64] {
+        assert!(antenna < self.antennas, "antenna index out of range");
+        &mut self.data[antenna * self.subcarriers..(antenna + 1) * self.subcarriers]
+    }
+
     /// One subcarrier's CSI across antennas — a MUSIC snapshot.
     pub fn subcarrier_column(&self, subcarrier: usize) -> Vec<Complex64> {
         assert!(subcarrier < self.subcarriers, "subcarrier out of range");
         (0..self.antennas)
             .map(|a| self.get(a, subcarrier))
             .collect()
+    }
+
+    /// Writes the subcarrier column into a caller-provided buffer
+    /// (cleared and refilled) — the allocation-free sibling of
+    /// [`CsiPacket::subcarrier_column`] for per-window covariance loops.
+    pub fn subcarrier_column_into(&self, subcarrier: usize, out: &mut Vec<Complex64>) {
+        assert!(subcarrier < self.subcarriers, "subcarrier out of range");
+        out.clear();
+        out.extend((0..self.antennas).map(|a| self.data[a * self.subcarriers + subcarrier]));
     }
 
     /// Subcarrier power `|H|²` for one antenna.

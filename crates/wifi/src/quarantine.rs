@@ -99,6 +99,25 @@ pub fn classify(packet: &CsiPacket, policy: &QuarantinePolicy) -> PacketClass {
     let antennas = packet.antennas();
     let subcarriers = packet.subcarriers();
     let screen_saturation = policy.saturation_amp.is_finite() && policy.saturation_amp > 0.0;
+
+    // Fast screen with no saturation policy: the common case is a
+    // pristine packet, classified with a single allocation-free pass.
+    if !screen_saturation {
+        let all_rows_healthy = (0..antennas).all(|a| {
+            let mut power = 0.0;
+            for h in packet.antenna_row(a) {
+                if !h.re.is_finite() || !h.im.is_finite() {
+                    return false;
+                }
+                power += h.norm_sqr();
+            }
+            power > 0.0
+        });
+        if all_rows_healthy && antennas >= policy.min_usable_antennas.max(1) {
+            return PacketClass::Ok;
+        }
+    }
+
     let mut usable = Vec::with_capacity(antennas);
     let mut clipped = vec![false; subcarriers];
     let mut row_clipped = vec![false; subcarriers];
@@ -108,9 +127,8 @@ pub fn classify(packet: &CsiPacket, policy: &QuarantinePolicy) -> PacketClass {
         let mut finite = true;
         let mut power = 0.0;
         let mut saturated = 0usize;
-        for (k, flag) in row_clipped.iter_mut().enumerate() {
+        for (flag, h) in row_clipped.iter_mut().zip(packet.antenna_row(a)) {
             *flag = false;
-            let h = packet.get(a, k);
             if !h.re.is_finite() || !h.im.is_finite() {
                 finite = false;
                 break;

@@ -10,7 +10,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use mpdf_propagation::channel::{ChannelModel, ChannelSnapshot};
+use mpdf_propagation::channel::{CfrPlan, ChannelModel};
 use mpdf_propagation::human::HumanBody;
 use mpdf_propagation::tracer::TraceError;
 use mpdf_propagation::trajectory::Trajectory;
@@ -122,10 +122,13 @@ impl CsiReceiver {
         let gain = 1.0 / channel.pathloss().amplitude_gain(1.0, fc);
         let snapshot = channel.snapshot(None)?;
         let freqs = config.band.frequencies();
+        let plan = snapshot.cfr_plan(&freqs);
         let mut power = 0.0;
         let offsets = config.array.offsets();
+        let mut buf = Vec::new();
         for off in &offsets {
-            for h in snapshot.cfr_with_offset(&freqs, *off) {
+            plan.eval_into(*off, &mut buf);
+            for &h in &buf {
                 power += (h * gain).norm_sqr();
             }
         }
@@ -264,21 +267,25 @@ impl CsiReceiver {
     }
 
     /// Clean (impairment-free) packet for a frozen channel snapshot,
-    /// including the current session's clutter drift.
-    fn clean_packet(&self, snapshot: &ChannelSnapshot) -> CsiPacket {
-        let freqs = self.config.band.frequencies();
-        let offsets = self.config.array.offsets();
-        let mut data = Vec::with_capacity(offsets.len() * freqs.len());
+    /// including the current session's clutter drift. The CFR plan hoists
+    /// the per-path setup out of the per-element loop (and, for a static
+    /// scene, out of the per-packet loop entirely); `buf` is the reused
+    /// per-element CFR scratch.
+    fn clean_packet(
+        &self,
+        plan: &CfrPlan,
+        offsets: &[mpdf_geom::vec2::Vec2],
+        buf: &mut Vec<mpdf_rfmath::complex::Complex64>,
+    ) -> CsiPacket {
+        let nf = plan.freqs().len();
+        let mut data = Vec::with_capacity(offsets.len() * nf);
         for (i, off) in offsets.iter().enumerate() {
-            for (k, h) in snapshot
-                .cfr_with_offset(&freqs, *off)
-                .into_iter()
-                .enumerate()
-            {
-                data.push((h * self.gain + self.drift[i * freqs.len() + k]) * self.session_gain);
+            plan.eval_into(*off, buf);
+            for (k, &h) in buf.iter().enumerate() {
+                data.push((h * self.gain + self.drift[i * nf + k]) * self.session_gain);
             }
         }
-        CsiPacket::new(offsets.len(), freqs.len(), data, self.seq, self.time)
+        CsiPacket::new(offsets.len(), nf, data, self.seq, self.time)
     }
 
     /// Emits one packet slot into `out`. With faults disabled this pushes
@@ -287,8 +294,14 @@ impl CsiReceiver {
     /// or two (duplicate, released hold-back) packets. The sequence
     /// number and clock advance once per slot either way, so lost packets
     /// leave visible sequence gaps.
-    fn emit_into(&mut self, snapshot: &ChannelSnapshot, out: &mut Vec<CsiPacket>) {
-        let mut packet = self.clean_packet(snapshot);
+    fn emit_into(
+        &mut self,
+        plan: &CfrPlan,
+        offsets: &[mpdf_geom::vec2::Vec2],
+        buf: &mut Vec<mpdf_rfmath::complex::Complex64>,
+        out: &mut Vec<CsiPacket>,
+    ) {
+        let mut packet = self.clean_packet(plan, offsets, buf);
         self.config.impairments.apply_with_interferer(
             &mut packet,
             self.config.band.indices(),
@@ -326,9 +339,14 @@ impl CsiReceiver {
         n: usize,
     ) -> Result<Vec<CsiPacket>, TraceError> {
         let snapshot = self.channel.snapshot(human)?;
+        // One plan for the whole capture: the scene is frozen, so every
+        // packet shares the per-path/per-frequency CFR setup.
+        let plan = snapshot.cfr_plan(&self.config.band.frequencies());
+        let offsets = self.config.array.offsets();
+        let mut buf = Vec::new();
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
-            self.emit_into(&snapshot, &mut out);
+            self.emit_into(&plan, &offsets, &mut buf, &mut out);
         }
         self.flush_faults(&mut out);
         Ok(out)
@@ -348,11 +366,15 @@ impl CsiReceiver {
         n: usize,
     ) -> Result<Vec<CsiPacket>, TraceError> {
         let t0 = self.time;
+        let freqs = self.config.band.frequencies();
+        let offsets = self.config.array.offsets();
+        let mut buf = Vec::new();
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
             let pos = trajectory.position(self.time - t0);
             let snapshot = self.channel.snapshot(Some(&body.at(pos)))?;
-            self.emit_into(&snapshot, &mut out);
+            let plan = snapshot.cfr_plan(&freqs);
+            self.emit_into(&plan, &offsets, &mut buf, &mut out);
         }
         self.flush_faults(&mut out);
         Ok(out)
@@ -402,15 +424,22 @@ impl CsiReceiver {
             return self.capture_static(None, n);
         }
         let t0 = self.time;
+        let freqs = self.config.band.frequencies();
+        let offsets = self.config.array.offsets();
+        let mut buf = Vec::new();
+        let mut bodies = Vec::with_capacity(actors.len());
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
             let elapsed = self.time - t0;
-            let bodies: Vec<HumanBody> = actors
-                .iter()
-                .map(|a| a.body.at(a.trajectory.position(elapsed)))
-                .collect();
+            bodies.clear();
+            bodies.extend(
+                actors
+                    .iter()
+                    .map(|a| a.body.at(a.trajectory.position(elapsed))),
+            );
             let snapshot = self.channel.snapshot_multi(&bodies)?;
-            self.emit_into(&snapshot, &mut out);
+            let plan = snapshot.cfr_plan(&freqs);
+            self.emit_into(&plan, &offsets, &mut buf, &mut out);
         }
         self.flush_faults(&mut out);
         Ok(out)

@@ -14,9 +14,10 @@ use mpdf_rfmath::complex::Complex64;
 
 use crate::csi::CsiPacket;
 
-/// Unwraps a phase sequence so consecutive samples never jump more than π.
-pub fn unwrap_phases(phases: &[f64]) -> Vec<f64> {
-    let mut out = Vec::with_capacity(phases.len());
+/// Unwraps a phase sequence so consecutive samples never jump more than
+/// π, writing into `out` (cleared and refilled).
+pub fn unwrap_phases_into(phases: &[f64], out: &mut Vec<f64>) {
+    out.clear();
     let mut offset = 0.0;
     for (i, &p) in phases.iter().enumerate() {
         if i == 0 {
@@ -35,6 +36,12 @@ pub fn unwrap_phases(phases: &[f64]) -> Vec<f64> {
         }
         out.push(candidate);
     }
+}
+
+/// Unwraps a phase sequence so consecutive samples never jump more than π.
+pub fn unwrap_phases(phases: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(phases.len());
+    unwrap_phases_into(phases, &mut out);
     out
 }
 
@@ -47,30 +54,84 @@ pub struct PhaseCorrection {
     pub intercept: f64,
 }
 
-/// Estimates the linear phase trend of a packet across subcarriers.
+/// Reusable buffers for the per-packet sanitization pass.
 ///
-/// The per-subcarrier phase is taken from the *sum over antennas* of the
-/// CSI (equivalent to an SNR-weighted average), unwrapped, then fit by
-/// least squares against the OFDM indices.
+/// Sanitizing a monitoring window runs the same fixed-size intermediate
+/// computations once per packet; a scratch carried across packets (and
+/// windows) removes every per-call allocation, and caches the OFDM
+/// indices converted to `f64` — constant across a window, previously
+/// rebuilt per packet. All arithmetic is untouched: corrections and
+/// sanitized CSI are bit-identical to the allocating formulation.
+#[derive(Debug, Clone, Default)]
+pub struct SanitizeScratch {
+    sums: Vec<Complex64>,
+    phases: Vec<f64>,
+    unwrapped: Vec<f64>,
+    xs: Vec<f64>,
+    rots: Vec<Complex64>,
+}
+
+impl SanitizeScratch {
+    /// A fresh scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Refills the cached `f64` index grid when `indices` changed since
+    /// the last call (cheap length+value check, usually a no-op).
+    fn prepare_xs(&mut self, indices: &[i32]) {
+        let up_to_date = self.xs.len() == indices.len()
+            && self
+                .xs
+                .iter()
+                .zip(indices)
+                .all(|(&x, &i)| x.to_bits() == (i as f64).to_bits());
+        if !up_to_date {
+            self.xs.clear();
+            self.xs.extend(indices.iter().map(|&i| i as f64));
+        }
+    }
+}
+
+/// Estimates the linear phase trend of a packet across subcarriers,
+/// reusing the caller's scratch buffers (the allocation-free core of
+/// [`estimate_linear_phase`]).
 ///
 /// # Panics
 /// Panics if the index list length differs from the packet's subcarrier
 /// count.
-pub fn estimate_linear_phase(packet: &CsiPacket, indices: &[i32]) -> PhaseCorrection {
+pub fn estimate_linear_phase_with(
+    scratch: &mut SanitizeScratch,
+    packet: &CsiPacket,
+    indices: &[i32],
+) -> PhaseCorrection {
     assert_eq!(
         indices.len(),
         packet.subcarriers(),
         "index list must match packet subcarriers"
     );
-    let phases: Vec<f64> = (0..packet.subcarriers())
-        .map(|k| {
-            let sum: Complex64 = (0..packet.antennas()).map(|a| packet.get(a, k)).sum();
-            sum.arg()
-        })
-        .collect();
-    let unwrapped = unwrap_phases(&phases);
-    let xs: Vec<f64> = indices.iter().map(|&i| i as f64).collect();
-    match mpdf_rfmath::fit::linear_fit(&xs, &unwrapped) {
+    scratch.prepare_xs(indices);
+    let SanitizeScratch {
+        sums,
+        phases,
+        unwrapped,
+        xs,
+        ..
+    } = scratch;
+    // Antenna sums accumulated row-major (cache order); per subcarrier
+    // the additions happen in the same antenna order as the previous
+    // column-major formulation, so the sums are bit-identical.
+    sums.clear();
+    sums.resize(packet.subcarriers(), Complex64::ZERO);
+    for a in 0..packet.antennas() {
+        for (s, &h) in sums.iter_mut().zip(packet.antenna_row(a)) {
+            *s += h;
+        }
+    }
+    phases.clear();
+    phases.extend(sums.iter().map(|s| s.arg()));
+    unwrap_phases_into(phases, unwrapped);
+    match mpdf_rfmath::fit::linear_fit(xs, unwrapped) {
         Ok(fit) => PhaseCorrection {
             slope: fit.slope,
             intercept: fit.intercept,
@@ -82,6 +143,50 @@ pub fn estimate_linear_phase(packet: &CsiPacket, indices: &[i32]) -> PhaseCorrec
     }
 }
 
+/// Estimates the linear phase trend of a packet across subcarriers.
+///
+/// The per-subcarrier phase is taken from the *sum over antennas* of the
+/// CSI (equivalent to an SNR-weighted average), unwrapped, then fit by
+/// least squares against the OFDM indices.
+///
+/// # Panics
+/// Panics if the index list length differs from the packet's subcarrier
+/// count.
+pub fn estimate_linear_phase(packet: &CsiPacket, indices: &[i32]) -> PhaseCorrection {
+    estimate_linear_phase_with(&mut SanitizeScratch::new(), packet, indices)
+}
+
+/// Removes the estimated linear phase from every antenna of a packet in
+/// place, reusing the caller's scratch buffers (the allocation-free core
+/// of [`sanitize_packet`] — window loops carry one scratch across all
+/// packets).
+///
+/// # Panics
+/// Panics if the index list length differs from the packet's subcarrier
+/// count.
+pub fn sanitize_packet_with(
+    scratch: &mut SanitizeScratch,
+    packet: &mut CsiPacket,
+    indices: &[i32],
+) -> PhaseCorrection {
+    let corr = estimate_linear_phase_with(scratch, packet, indices);
+    // The rotor depends only on the subcarrier index: compute the grid
+    // once instead of once per (antenna, subcarrier) — each element
+    // still sees the bit-identical `cis` value and product.
+    scratch.rots.clear();
+    scratch.rots.extend(
+        indices
+            .iter()
+            .map(|&idx| Complex64::cis(-(corr.slope * idx as f64 + corr.intercept))),
+    );
+    for a in 0..packet.antennas() {
+        for (h, rot) in packet.antenna_row_mut(a).iter_mut().zip(&scratch.rots) {
+            *h *= *rot;
+        }
+    }
+    corr
+}
+
 /// Removes the estimated linear phase from every antenna of a packet,
 /// in place, and returns the applied correction.
 ///
@@ -89,15 +194,7 @@ pub fn estimate_linear_phase(packet: &CsiPacket, indices: &[i32]) -> PhaseCorrec
 /// Panics if the index list length differs from the packet's subcarrier
 /// count.
 pub fn sanitize_packet(packet: &mut CsiPacket, indices: &[i32]) -> PhaseCorrection {
-    let corr = estimate_linear_phase(packet, indices);
-    for a in 0..packet.antennas() {
-        for (k, &idx) in indices.iter().enumerate() {
-            let rot = Complex64::cis(-(corr.slope * idx as f64 + corr.intercept));
-            let h = packet.get_mut(a, k);
-            *h *= rot;
-        }
-    }
-    corr
+    sanitize_packet_with(&mut SanitizeScratch::new(), packet, indices)
 }
 
 #[cfg(test)]

@@ -19,6 +19,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod benchdiff;
 pub mod concurrency;
 pub mod determinism;
 pub mod lexer;

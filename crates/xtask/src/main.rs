@@ -14,6 +14,11 @@
 //!   replaces the human output on stdout; with `--json <path>` the
 //!   report is written to the file and the human lines still print.
 //! - `cargo xtask rules` — print the rule names and one-line policies.
+//! - `cargo xtask bench-diff <old.json> <new.json> [--threshold <pct>]`
+//!   — compare two `BENCH_*.json` reports by benchmark name and exit 1
+//!   if any mean regressed beyond the threshold (default 25%). CI's
+//!   bench job diffs freshly generated numbers against the committed
+//!   reference so hot-path regressions fail loudly.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,6 +28,7 @@ use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use xtask::benchdiff;
 use xtask::lint;
 use xtask::report::{self, Rule};
 
@@ -39,8 +45,12 @@ fn main() -> ExitCode {
             print_rules();
             ExitCode::SUCCESS
         }
+        Some("bench-diff") => run_bench_diff(&args[1..]),
         _ => {
-            eprintln!("usage: cargo xtask <lint [--root <path>] [--json [<path>]] | rules>");
+            eprintln!(
+                "usage: cargo xtask <lint [--root <path>] [--json [<path>]] | rules | \
+                 bench-diff <old.json> <new.json> [--threshold <pct>]>"
+            );
             ExitCode::from(EXIT_ERROR)
         }
     }
@@ -105,6 +115,74 @@ fn run_lint(args: &[String]) -> ExitCode {
         }
     }
     if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(EXIT_FINDINGS)
+    }
+}
+
+/// Runs `bench-diff <old.json> <new.json> [--threshold <pct>]`.
+fn run_bench_diff(args: &[String]) -> ExitCode {
+    let mut paths: Vec<&String> = Vec::new();
+    let mut threshold_pct = 25.0;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--threshold" {
+            let Some(raw) = args.get(i + 1) else {
+                eprintln!("--threshold requires a percent argument");
+                return ExitCode::from(EXIT_ERROR);
+            };
+            match raw.parse::<f64>() {
+                Ok(pct) if pct.is_finite() && pct >= 0.0 => threshold_pct = pct,
+                _ => {
+                    eprintln!("--threshold must be a non-negative number, got `{raw}`");
+                    return ExitCode::from(EXIT_ERROR);
+                }
+            }
+            i += 2;
+        } else {
+            paths.push(&args[i]);
+            i += 1;
+        }
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        eprintln!("usage: cargo xtask bench-diff <old.json> <new.json> [--threshold <pct>]");
+        return ExitCode::from(EXIT_ERROR);
+    };
+    let load = |path: &str| -> Result<Vec<benchdiff::BenchRecord>, String> {
+        let text = fs::read_to_string(path).map_err(|err| format!("cannot read {path}: {err}"))?;
+        benchdiff::parse_report(&text).map_err(|err| format!("{path}: {err}"))
+    };
+    let (old, new) = match (load(old_path), load(new_path)) {
+        (Ok(old), Ok(new)) => (old, new),
+        (Err(err), _) | (_, Err(err)) => {
+            eprintln!("xtask bench-diff: {err}");
+            return ExitCode::from(EXIT_ERROR);
+        }
+    };
+    let d = benchdiff::diff(&old, &new, threshold_pct);
+    for entry in &d.improvements {
+        println!("improved   {entry}");
+    }
+    for entry in &d.regressions {
+        println!("REGRESSED  {entry}");
+    }
+    for name in &d.missing {
+        println!("missing    {name} (in {old_path} only)");
+    }
+    for name in &d.added {
+        println!("added      {name} (in {new_path} only)");
+    }
+    println!(
+        "xtask bench-diff: {} regressed, {} improved, {} within ±{threshold_pct}% \
+         ({} missing, {} added)",
+        d.regressions.len(),
+        d.improvements.len(),
+        d.unchanged.len(),
+        d.missing.len(),
+        d.added.len()
+    );
+    if d.regressions.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(EXIT_FINDINGS)
