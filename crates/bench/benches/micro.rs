@@ -9,6 +9,12 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use mpdf_bench::{bench_fixture, bench_link};
+
+// The overhead benches only mean something when every allocation in the
+// process actually routes through the counting allocator.
+#[cfg(feature = "alloc-profile")]
+#[global_allocator]
+static COUNTING_ALLOC: mpdf_obs::allocs::CountingAllocator = mpdf_obs::allocs::CountingAllocator;
 use mpdf_core::multipath_factor::multipath_factors;
 use mpdf_core::scheme::{
     Baseline, DetectionScheme, SubcarrierAndPathWeighting, SubcarrierWeighting,
@@ -163,6 +169,62 @@ fn bench_obs(c: &mut Criterion) {
     g.bench_function("histogram_record", |b| {
         b.iter(|| hist.record(black_box(1234)));
     });
+    // Offline span-tree reconstruction (the `trace-report` hot path):
+    // a balanced two-level stream, 256 windows of 4 nested stages.
+    let mut events = Vec::new();
+    let mut ts = 0u64;
+    for _ in 0..256 {
+        for name in ["eval.window", "music.covariance", "music.scan"] {
+            events.push(mpdf_obs::profile::TraceEvent {
+                kind: mpdf_obs::trace::SpanKind::Enter,
+                name: name.to_owned(),
+                thread: 1,
+                ts_ns: ts,
+                elapsed_ns: 0,
+            });
+            ts += 100;
+        }
+        for (name, elapsed) in [
+            ("music.scan", 100),
+            ("music.covariance", 300),
+            ("eval.window", 500),
+        ] {
+            ts += 100;
+            events.push(mpdf_obs::profile::TraceEvent {
+                kind: mpdf_obs::trace::SpanKind::Exit,
+                name: name.to_owned(),
+                thread: 1,
+                ts_ns: ts,
+                elapsed_ns: elapsed,
+            });
+        }
+    }
+    g.bench_function("profile_reconstruct_256win", |b| {
+        b.iter(|| black_box(mpdf_obs::profile::reconstruct(black_box(&events))));
+    });
+    // Allocation churn with the default system allocator: the baseline
+    // the `alloc-profile` overhead bench below is compared against.
+    g.bench_function("alloc_churn_baseline", |b| {
+        b.iter(|| {
+            let v: Vec<u64> = Vec::with_capacity(black_box(64));
+            black_box(v);
+        });
+    });
+    // Same churn through the counting allocator with stage attribution
+    // on (only built with `--features alloc-profile`; the committed
+    // reference keeps the entry, default runs report it as missing).
+    #[cfg(feature = "alloc-profile")]
+    {
+        mpdf_obs::allocs::enable();
+        let _scope = mpdf_obs::allocs::StageScope::enter("bench.alloc");
+        g.bench_function("alloc_churn_counted", |b| {
+            b.iter(|| {
+                let v: Vec<u64> = Vec::with_capacity(black_box(64));
+                black_box(v);
+            });
+        });
+        mpdf_obs::allocs::disable();
+    }
     g.finish();
 }
 

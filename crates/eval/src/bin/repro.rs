@@ -9,6 +9,13 @@
 use mpdf_eval::experiments as exp;
 use mpdf_eval::workload::CampaignConfig;
 
+// With `--features alloc-profile` the binary counts every heap
+// allocation and attributes it to the active stage; the default build
+// runs on the system allocator untouched.
+#[cfg(feature = "alloc-profile")]
+#[global_allocator]
+static COUNTING_ALLOC: mpdf_obs::allocs::CountingAllocator = mpdf_obs::allocs::CountingAllocator;
+
 /// Known experiment names, in `all` execution order.
 const ALL_EXPERIMENTS: [&str; 18] = [
     "fig2a",
@@ -62,6 +69,9 @@ options:
   --trace <path>     write an NDJSON span trace of the run to <path>
   --metrics <path>   write a metrics snapshot (counters, gauges, per-stage
                      latency histograms) as JSON to <path>
+  --trajectory <p>   write windowed metric trajectories (registry deltas
+                     sampled every K windows) as NDJSON to <p>
+  --traj-every <k>   windows per trajectory sample (default 64, min 1)
   --session          run a supervised long-running session demo instead of
                      experiments: drift sentinels, staged recalibration and
                      per-window checkpointing (one line per window)
@@ -81,6 +91,8 @@ struct Options {
     csv_dir: Option<std::path::PathBuf>,
     trace: Option<std::path::PathBuf>,
     metrics: Option<std::path::PathBuf>,
+    trajectory: Option<std::path::PathBuf>,
+    traj_every: u64,
     experiments: Vec<String>,
     session: Option<mpdf_eval::session::SessionDemoOptions>,
     help: bool,
@@ -111,6 +123,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut csv_dir = None;
     let mut trace = None;
     let mut metrics = None;
+    let mut trajectory = None;
+    let mut traj_every = 64u64;
     let mut session = false;
     let mut session_opts = mpdf_eval::session::SessionDemoOptions::default();
     let mut help = false;
@@ -160,6 +174,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "case" => experiments.push(value.clone()),
             "trace" => trace = Some(std::path::PathBuf::from(value)),
             "metrics" => metrics = Some(std::path::PathBuf::from(value)),
+            "trajectory" => trajectory = Some(std::path::PathBuf::from(value)),
+            "traj-every" => {
+                traj_every = parse_num(flag, value, "a positive integer")?;
+                if traj_every == 0 {
+                    return Err("bad value `0` for --traj-every: must be at least 1".to_string());
+                }
+            }
             "checkpoint" => session_opts.checkpoint = Some(std::path::PathBuf::from(value)),
             "kill-after" => {
                 session_opts.kill_after = Some(parse_num(flag, value, "a non-negative integer")?);
@@ -180,6 +201,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         csv_dir,
         trace,
         metrics,
+        trajectory,
+        traj_every,
         experiments,
         session: session.then_some(session_opts),
         help,
@@ -494,6 +517,16 @@ fn main() {
     if opts.metrics.is_some() {
         mpdf_obs::metrics::enable_timing();
     }
+    if let Some(path) = &opts.trajectory {
+        mpdf_obs::trajectory::install(opts.traj_every);
+        eprintln!(
+            "sampling metric trajectories every {} window(s) to {}",
+            opts.traj_every,
+            path.display()
+        );
+    }
+    #[cfg(feature = "alloc-profile")]
+    mpdf_obs::allocs::enable();
 
     // Session mode replaces the experiment fan-out entirely: one
     // supervised long-running loop, windows printed in order.
@@ -502,19 +535,12 @@ fn main() {
         let mut out = stdout.lock();
         let result = mpdf_eval::session::run_session_demo(&opts.cfg, demo, &mut out);
         drop(out);
-        mpdf_obs::trace::uninstall();
         let mut failed = result.is_err();
         if let Err(e) = &result {
             eprintln!("error: {e}");
         }
-        if let Some(path) = &opts.metrics {
-            match mpdf_obs::metrics::write_json(path) {
-                Ok(()) => eprintln!("wrote {}", path.display()),
-                Err(e) => {
-                    eprintln!("error: write metrics {}: {e}", path.display());
-                    failed = true;
-                }
-            }
+        if flush_observability(&opts) > 0 {
+            failed = true;
         }
         if failed {
             std::process::exit(1);
@@ -556,9 +582,33 @@ fn main() {
             }
         }
     }
-    // Flush observability artifacts before any exit path (process::exit
-    // skips destructors, so the trace writer is flushed explicitly).
+    failures += flush_observability(&opts);
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// Flushes observability artifacts before any exit path (`process::exit`
+/// skips destructors, so the trace writer is flushed explicitly).
+/// Returns the number of artifact-write failures.
+fn flush_observability(opts: &Options) -> usize {
     mpdf_obs::trace::uninstall();
+    let mut failures = 0usize;
+    // Allocation totals publish before the snapshot is written so the
+    // obs.alloc.* counters land in --metrics output.
+    #[cfg(feature = "alloc-profile")]
+    mpdf_obs::allocs::publish();
+    if let Some(path) = &opts.trajectory {
+        if let Some(recorder) = mpdf_obs::trajectory::uninstall() {
+            match mpdf_obs::trajectory::write_ndjson(path, &recorder.take_samples()) {
+                Ok(()) => eprintln!("wrote {}", path.display()),
+                Err(e) => {
+                    eprintln!("error: write trajectory {}: {e}", path.display());
+                    failures += 1;
+                }
+            }
+        }
+    }
     if let Some(path) = &opts.metrics {
         match mpdf_obs::metrics::write_json(path) {
             Ok(()) => eprintln!("wrote {}", path.display()),
@@ -568,7 +618,5 @@ fn main() {
             }
         }
     }
-    if failures > 0 {
-        std::process::exit(1);
-    }
+    failures
 }

@@ -217,6 +217,9 @@ fn capture_window(
     label_salt: u64,
 ) -> Result<Vec<CsiPacket>, TraceError> {
     let _stage = mpdf_obs::stage!("eval.window");
+    // Trajectory sampling is keyed to window counts, not wall-clock, so
+    // the sample boundaries are deterministic at any thread count.
+    mpdf_obs::trajectory::tick();
     let mut receiver = template.fork(window_stream(cfg, case, window_idx, label_salt));
     // Each monitoring window belongs to a different "session" than the
     // calibration capture: the clutter has drifted.

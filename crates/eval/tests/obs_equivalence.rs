@@ -113,4 +113,42 @@ fn instrumentation_does_not_perturb_results() {
     assert!(events
         .iter()
         .any(|e| e.name == "eval.window" && e.depth >= 1));
+
+    // The captured stream reconstructs into a clean span forest whose
+    // stages line up with the histogram registry.
+    let trace_events: Vec<mpdf_obs::profile::TraceEvent> = events
+        .iter()
+        .map(mpdf_obs::profile::TraceEvent::from)
+        .collect();
+    let prof = mpdf_obs::profile::reconstruct_with_dropped(&trace_events, ring.dropped());
+    assert!(prof.stages.iter().any(|s| s.name == "music.scan"));
+    assert!(prof.stages.iter().any(|s| s.name == "eval.window"));
+    assert!(!prof.critical_path.is_empty(), "no critical path extracted");
+
+    // A trajectory-sampling run is still write-only: identical scores,
+    // plus a deterministic window-keyed sample series.
+    let recorder = mpdf_obs::trajectory::install(2);
+    let sampled = run_campaign(cases, &tiny_config(2)).expect("sampled campaign");
+    let sampled_scores =
+        score_campaign(&sampled, &SubcarrierWeighting, &tiny_config(2).detector).expect("score");
+    mpdf_obs::trajectory::uninstall();
+    assert_eq!(plain_scores, sampled_scores);
+    let samples = recorder.take_samples();
+    assert!(
+        !samples.is_empty(),
+        "no trajectory samples at every-2 sampling"
+    );
+    for pair in samples.windows(2) {
+        assert!(
+            pair[0].windows < pair[1].windows,
+            "trajectory samples out of order"
+        );
+    }
+    assert!(
+        samples
+            .iter()
+            .any(|s| s.counters.get("eval.windows_total").copied().unwrap_or(0) > 0),
+        "window counter deltas never moved:\n{}",
+        mpdf_obs::trajectory::to_ndjson(&samples)
+    );
 }

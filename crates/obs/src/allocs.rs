@@ -1,0 +1,340 @@
+//! Feature-gated allocation accounting: a counting [`GlobalAlloc`]
+//! wrapper plus thread-local stage scopes that attribute every
+//! allocation to the innermost active [`stage!`](crate::stage).
+//!
+//! Compiled only with the `alloc-count` feature — the default build
+//! contains no `unsafe` and pays nothing. A binary opts in twice:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: mpdf_obs::allocs::CountingAllocator =
+//!     mpdf_obs::allocs::CountingAllocator;
+//! // ...
+//! mpdf_obs::allocs::enable();            // start attributing
+//! run_pipeline();
+//! mpdf_obs::allocs::publish();           // obs.alloc.* counters
+//! ```
+//!
+//! Even with the allocator installed, accounting is off until
+//! [`enable`] — the hot path is then a single relaxed load. The
+//! allocator itself only reads a `const`-initialized thread-local and
+//! touches atomics: it never allocates, locks, or panics, so it cannot
+//! re-enter itself or deadlock inside another allocation. Stage cells
+//! are interned (leaked) outside the allocator path, in
+//! [`StageScope::enter`].
+//!
+//! Accounting counts `alloc`/`alloc_zeroed`/`realloc` calls and
+//! requested bytes. Frees are not tracked: the value here is "which
+//! stage allocates how much", not a live-heap profile.
+
+// The one unsafe item in the crate: forwarding the GlobalAlloc contract
+// to `System`. Every pointer and layout is passed through untouched.
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+use crate::metrics;
+
+/// Per-stage attribution cell. Interned per stage name and leaked, so
+/// the allocator path can hold `&'static` references without locking.
+pub struct StageCell {
+    name: &'static str,
+    allocs: AtomicU64,
+    bytes: AtomicU64,
+    published_allocs: AtomicU64,
+    published_bytes: AtomicU64,
+}
+
+impl StageCell {
+    const fn new(name: &'static str) -> StageCell {
+        StageCell {
+            name,
+            allocs: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            published_allocs: AtomicU64::new(0),
+            published_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Stage name this cell attributes to.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Allocations attributed so far.
+    #[must_use]
+    pub fn allocs(&self) -> u64 {
+        self.allocs.load(Ordering::Relaxed)
+    }
+
+    /// Bytes attributed so far.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static TOTAL: StageCell = StageCell::new("total");
+static UNATTRIBUTED: StageCell = StageCell::new("unattributed");
+
+thread_local! {
+    // `const`-initialized so the first read in the allocator path can
+    // never itself allocate (a lazy initializer would recurse).
+    static CURRENT: Cell<Option<&'static StageCell>> = const { Cell::new(None) };
+}
+
+fn stage_map() -> &'static Mutex<BTreeMap<&'static str, &'static StageCell>> {
+    static MAP: OnceLock<Mutex<BTreeMap<&'static str, &'static StageCell>>> = OnceLock::new();
+    MAP.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Interns (leaking) the attribution cell for a stage name. Called from
+/// scope entry, never from inside the allocator.
+fn intern(name: &'static str) -> &'static StageCell {
+    let mut map = stage_map().lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(cell) = map.get(name) {
+        return cell;
+    }
+    let cell: &'static StageCell = Box::leak(Box::new(StageCell::new(name)));
+    map.insert(name, cell);
+    cell
+}
+
+/// Starts attributing allocations to stages. Idempotent.
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Stops attributing (the allocator reverts to pure pass-through).
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Whether attribution is currently on.
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// RAII stage scope: while alive (and accounting is [`enabled`]),
+/// allocations on this thread are attributed to `name`. Nested scopes
+/// attribute to the innermost stage; the previous stage is restored on
+/// drop. Embedded in [`StageGuard`](crate::trace::StageGuard), so every
+/// `stage!` call site gets attribution for free.
+pub struct StageScope {
+    prev: Option<&'static StageCell>,
+    active: bool,
+}
+
+impl StageScope {
+    /// Enters a stage scope; a no-op unless accounting is enabled.
+    #[must_use]
+    pub fn enter(name: &'static str) -> StageScope {
+        if !enabled() {
+            return StageScope {
+                prev: None,
+                active: false,
+            };
+        }
+        let cell = intern(name);
+        // `try_with` so scopes created during thread teardown degrade to
+        // no-ops instead of aborting.
+        match CURRENT.try_with(|current| current.replace(Some(cell))) {
+            Ok(prev) => StageScope { prev, active: true },
+            Err(_) => StageScope {
+                prev: None,
+                active: false,
+            },
+        }
+    }
+}
+
+impl Drop for StageScope {
+    fn drop(&mut self) {
+        if self.active {
+            let _ = CURRENT.try_with(|current| current.set(self.prev));
+        }
+    }
+}
+
+/// The allocator-path record: relaxed atomics only, no locks, no
+/// allocation, no panic paths.
+#[inline]
+fn record(size: usize) {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    let bytes = size as u64;
+    TOTAL.allocs.fetch_add(1, Ordering::Relaxed);
+    TOTAL.bytes.fetch_add(bytes, Ordering::Relaxed);
+    let cell = match CURRENT.try_with(Cell::get) {
+        Ok(Some(cell)) => cell,
+        _ => &UNATTRIBUTED,
+    };
+    cell.allocs.fetch_add(1, Ordering::Relaxed);
+    cell.bytes.fetch_add(bytes, Ordering::Relaxed);
+}
+
+/// Counting pass-through over the [`System`] allocator. Install with
+/// `#[global_allocator]` in the binary that wants attribution.
+pub struct CountingAllocator;
+
+// SAFETY: every method forwards ptr/layout verbatim to `System`, which
+// upholds the GlobalAlloc contract; the bookkeeping beforehand touches
+// only atomics and a const-initialized thread-local.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        record(layout.size());
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        record(layout.size());
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        record(new_size);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+/// Point-in-time copy of every attribution cell (total, unattributed,
+/// then stages name-sorted) as `(name, allocs, bytes)`.
+#[must_use]
+pub fn stage_totals() -> Vec<(&'static str, u64, u64)> {
+    let mut out = vec![
+        ("total", TOTAL.allocs(), TOTAL.bytes()),
+        ("unattributed", UNATTRIBUTED.allocs(), UNATTRIBUTED.bytes()),
+    ];
+    let map = stage_map().lock().unwrap_or_else(PoisonError::into_inner);
+    for (name, cell) in map.iter() {
+        out.push((name, cell.allocs(), cell.bytes()));
+    }
+    out
+}
+
+fn publish_cell(cell: &StageCell, prefix: &str) {
+    let allocs = cell.allocs();
+    let bytes = cell.bytes();
+    let prev_allocs = cell.published_allocs.swap(allocs, Ordering::Relaxed);
+    let prev_bytes = cell.published_bytes.swap(bytes, Ordering::Relaxed);
+    metrics::counter(&format!("{prefix}.allocs_total")).add(allocs.saturating_sub(prev_allocs));
+    metrics::counter(&format!("{prefix}.bytes_total")).add(bytes.saturating_sub(prev_bytes));
+}
+
+/// Publishes attribution into the metrics registry: the process totals
+/// land on the registered `obs.alloc.allocs_total` /
+/// `obs.alloc.bytes_total` / `obs.alloc.unattributed.*` counters, and
+/// each stage on dynamic `obs.alloc.<stage>.{allocs,bytes}_total`
+/// counters (same convention as `eval.case<N>.*`). Incremental:
+/// repeated calls add only the delta since the last publish.
+pub fn publish() {
+    // Literal call sites so the metric-registry lint covers the names;
+    // the deltas themselves go through `publish_cell`.
+    crate::counter!("obs.alloc.allocs_total").add(0);
+    crate::counter!("obs.alloc.bytes_total").add(0);
+    crate::counter!("obs.alloc.unattributed.allocs_total").add(0);
+    crate::counter!("obs.alloc.unattributed.bytes_total").add(0);
+    publish_cell(&TOTAL, "obs.alloc");
+    publish_cell(&UNATTRIBUTED, "obs.alloc.unattributed");
+    let cells: Vec<&'static StageCell> = {
+        let map = stage_map().lock().unwrap_or_else(PoisonError::into_inner);
+        map.values().copied().collect()
+    };
+    for cell in cells {
+        publish_cell(cell, &format!("obs.alloc.{}", cell.name));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use crate::testutil::lock as test_lock;
+
+    #[test]
+    fn scope_is_inert_when_disabled() {
+        let _serial = test_lock();
+        disable();
+        let scope = StageScope::enter("obs.test.alloc_inert");
+        assert!(!scope.active);
+        drop(scope);
+        // Not interned: no cell appears for the name.
+        assert!(!stage_totals()
+            .iter()
+            .any(|(name, _, _)| *name == "obs.test.alloc_inert"));
+    }
+
+    #[test]
+    fn nested_scopes_restore_previous_stage() {
+        let _serial = test_lock();
+        enable();
+        let outer = StageScope::enter("obs.test.alloc_outer");
+        let outer_cell = CURRENT.with(Cell::get).expect("outer current");
+        assert_eq!(outer_cell.name(), "obs.test.alloc_outer");
+        {
+            let _inner = StageScope::enter("obs.test.alloc_inner");
+            let inner_cell = CURRENT.with(Cell::get).expect("inner current");
+            assert_eq!(inner_cell.name(), "obs.test.alloc_inner");
+        }
+        let restored = CURRENT.with(Cell::get).expect("restored current");
+        assert_eq!(restored.name(), "obs.test.alloc_outer");
+        drop(outer);
+        disable();
+    }
+
+    #[test]
+    fn record_attributes_to_current_stage() {
+        let _serial = test_lock();
+        enable();
+        let scope = StageScope::enter("obs.test.alloc_record");
+        record(64);
+        record(16);
+        drop(scope);
+        record(8); // no scope: unattributed
+        disable();
+        let totals = stage_totals();
+        let get = |wanted: &str| {
+            totals
+                .iter()
+                .find(|(name, _, _)| *name == wanted)
+                .copied()
+                .expect("cell present")
+        };
+        let (_, allocs, bytes) = get("obs.test.alloc_record");
+        assert_eq!(allocs, 2);
+        assert_eq!(bytes, 80);
+        let (_, una, unb) = get("unattributed");
+        assert!(una >= 1 && unb >= 8);
+        let (_, ta, tb) = get("total");
+        assert!(ta >= 3 && tb >= 88);
+    }
+
+    #[test]
+    fn publish_is_incremental() {
+        let _serial = test_lock();
+        enable();
+        {
+            let _scope = StageScope::enter("obs.test.alloc_publish");
+            record(100);
+        }
+        disable();
+        publish();
+        let first = metrics::counter("obs.alloc.obs.test.alloc_publish.bytes_total").get();
+        assert!(first >= 100);
+        publish(); // nothing new recorded: no double counting
+        let second = metrics::counter("obs.alloc.obs.test.alloc_publish.bytes_total").get();
+        assert_eq!(first, second);
+    }
+}

@@ -17,6 +17,17 @@
 //!   fixed-bucket histograms, all updated lock-free through atomics,
 //!   with p50/p95/p99 summaries and a JSON snapshot exporter
 //!   (`OBS_metrics.json`, the same spirit as `BENCH_*.json`).
+//! - [`profile`] — the read side: reconstructs per-thread span trees
+//!   from event streams (ring or NDJSON), attributes self/total time,
+//!   extracts the critical path and renders collapsed stacks plus a
+//!   deterministic hotspot table (`cargo xtask trace-report`).
+//! - [`trajectory`] — windowed metric time series: samples registry
+//!   deltas every K processed windows (deterministic window counts, not
+//!   wall-clock) into NDJSON (`repro --trajectory`).
+//! - `allocs` (feature `alloc-count`) — a counting global allocator
+//!   with thread-local stage scopes, attributing allocations/bytes to
+//!   the active [`stage!`] and publishing `obs.alloc.*` counters; zero
+//!   overhead (and no `unsafe` compiled) when the feature is off.
 //!
 //! ## Determinism contract
 //!
@@ -44,11 +55,19 @@
 //! mpdf_obs::metrics::disable_timing();
 //! ```
 
-#![forbid(unsafe_code)]
+// The counting global allocator (feature `alloc-count`) is the one
+// place that needs `unsafe`; every other configuration keeps the
+// crate-wide ban.
+#![cfg_attr(not(feature = "alloc-count"), forbid(unsafe_code))]
+#![cfg_attr(feature = "alloc-count", deny(unsafe_code))]
 #![warn(missing_docs)]
 
+#[cfg(feature = "alloc-count")]
+pub mod allocs;
 pub mod metrics;
+pub mod profile;
 pub mod trace;
+pub mod trajectory;
 
 pub use metrics::{Counter, Gauge, Histogram, Snapshot};
 pub use trace::{SpanEvent, SpanKind, Subscriber};

@@ -396,7 +396,7 @@ pub struct Snapshot {
 }
 
 /// Escapes a string for a JSON string literal.
-fn escape_json(s: &str, out: &mut String) {
+pub(crate) fn escape_json(s: &str, out: &mut String) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),

@@ -131,13 +131,33 @@ fn subscriber_slot() -> &'static Mutex<Option<Arc<dyn Subscriber>>> {
 
 /// Installs `sub` as the process-wide subscriber and enables tracing.
 /// Replaces (and returns) any previously installed subscriber.
+///
+/// The first install also chains a panic hook that flushes the
+/// subscriber, so a run aborted by a worker panic still leaves an
+/// analyzable trace file instead of a truncated buffer.
 pub fn install(sub: Arc<dyn Subscriber>) -> Option<Arc<dyn Subscriber>> {
+    install_panic_flush();
     let mut slot = subscriber_slot()
         .lock()
         .unwrap_or_else(PoisonError::into_inner);
     let old = slot.replace(sub);
     TRACING.store(true, Ordering::Release);
     old
+}
+
+/// Chains a process-wide panic hook (once) that flushes the installed
+/// subscriber before the default hook runs. `flush` only takes the
+/// subscriber slot and writer locks, both poison-tolerant, so flushing
+/// from the panicking thread is safe.
+fn install_panic_flush() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            flush();
+            prev(info);
+        }));
+    });
 }
 
 /// Disables tracing, flushes and removes the current subscriber
@@ -247,6 +267,11 @@ pub struct StageGuard {
     start: Option<Instant>,
     hist: Option<Arc<Histogram>>,
     traced: bool,
+    /// Attributes allocations inside this stage to its name (feature
+    /// `alloc-count`; a no-op unless [`crate::allocs::enable`] ran).
+    /// Declared last so it closes after the exit event is dispatched.
+    #[cfg(feature = "alloc-count")]
+    _alloc: crate::allocs::StageScope,
 }
 
 impl StageGuard {
@@ -261,6 +286,8 @@ impl StageGuard {
                 start: None,
                 hist: None,
                 traced: false,
+                #[cfg(feature = "alloc-count")]
+                _alloc: crate::allocs::StageScope::enter(name),
             };
         }
         let start = Instant::now();
@@ -287,6 +314,8 @@ impl StageGuard {
             start: Some(start),
             hist,
             traced,
+            #[cfg(feature = "alloc-count")]
+            _alloc: crate::allocs::StageScope::enter(name),
         }
     }
 }
@@ -361,6 +390,17 @@ impl Subscriber for NdjsonWriter {
     }
 }
 
+impl Drop for NdjsonWriter {
+    /// Flushes buffered events so a writer dropped without a clean
+    /// [`uninstall`] (aborted run, test teardown) still persists its
+    /// tail. `BufWriter`'s own drop would flush too, but silently; doing
+    /// it here keeps the behavior explicit and poison-tolerant.
+    fn drop(&mut self) {
+        let mut out = self.out.lock().unwrap_or_else(PoisonError::into_inner);
+        let _ = out.flush();
+    }
+}
+
 /// Subscriber keeping the most recent `capacity` events in memory.
 pub struct RingBuffer {
     events: Mutex<VecDeque<SpanEvent>>,
@@ -396,12 +436,22 @@ impl RingBuffer {
 
 impl Subscriber for RingBuffer {
     fn event(&self, event: &SpanEvent) {
-        let mut events = self.events.lock().unwrap_or_else(PoisonError::into_inner);
-        if events.len() == self.capacity {
-            events.pop_front();
+        let evicted = {
+            let mut events = self.events.lock().unwrap_or_else(PoisonError::into_inner);
+            let evicted = events.len() == self.capacity;
+            if evicted {
+                events.pop_front();
+            }
+            events.push_back(*event);
+            evicted
+        };
+        // Counted outside the ring lock: interning the counter takes the
+        // registry lock, and profile reports read this to warn that the
+        // reconstruction is built from a truncated stream.
+        if evicted {
             self.dropped.fetch_add(1, Ordering::Relaxed);
+            crate::counter!("obs.trace.dropped_events_total").inc();
         }
-        events.push_back(*event);
     }
 }
 

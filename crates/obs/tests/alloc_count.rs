@@ -1,0 +1,91 @@
+//! End-to-end allocation attribution through the real global allocator
+//! (feature `alloc-count`): run with
+//! `cargo test -p mpdf-obs --features alloc-count`.
+#![cfg(feature = "alloc-count")]
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use mpdf_obs::allocs::{self, CountingAllocator};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// The enable flag and totals are process-global; the two tests must
+/// not interleave.
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[test]
+fn stage_allocations_are_attributed_and_published() {
+    let _serial = serial();
+    allocs::enable();
+    {
+        let _stage = mpdf_obs::stage!("obs.test.alloc_e2e");
+        let buf: Vec<u64> = Vec::with_capacity(1024);
+        std::hint::black_box(&buf);
+        {
+            // Nested stages attribute to the innermost scope.
+            let _inner = mpdf_obs::stage!("obs.test.alloc_e2e_inner");
+            let inner_buf: Vec<u8> = Vec::with_capacity(512);
+            std::hint::black_box(&inner_buf);
+        }
+    }
+    allocs::disable();
+
+    let totals = allocs::stage_totals();
+    let get = |wanted: &str| -> (u64, u64) {
+        totals
+            .iter()
+            .find(|(name, _, _)| *name == wanted)
+            .map(|(_, a, b)| (*a, *b))
+            .unwrap_or((0, 0))
+    };
+    let (outer_allocs, outer_bytes) = get("obs.test.alloc_e2e");
+    assert!(outer_allocs >= 1, "outer stage saw no allocations");
+    assert!(
+        outer_bytes >= 8192,
+        "outer stage bytes {outer_bytes} < 8192"
+    );
+    let (inner_allocs, inner_bytes) = get("obs.test.alloc_e2e_inner");
+    assert!(inner_allocs >= 1, "inner stage saw no allocations");
+    assert!(inner_bytes >= 512, "inner stage bytes {inner_bytes} < 512");
+    let (total_allocs, total_bytes) = get("total");
+    assert!(total_allocs >= outer_allocs + inner_allocs);
+    assert!(total_bytes >= outer_bytes + inner_bytes);
+
+    // Publishing lands the numbers on obs.alloc.* registry counters.
+    allocs::publish();
+    assert!(mpdf_obs::metrics::counter("obs.alloc.allocs_total").get() >= total_allocs);
+    assert!(
+        mpdf_obs::metrics::counter("obs.alloc.obs.test.alloc_e2e.bytes_total").get() >= outer_bytes
+    );
+}
+
+#[test]
+fn disabled_accounting_attributes_nothing_new() {
+    let _serial = serial();
+    allocs::disable();
+    let before: u64 = allocs::stage_totals()
+        .iter()
+        .find(|(name, _, _)| *name == "total")
+        .map(|(_, a, _)| *a)
+        .unwrap_or(0);
+    {
+        let _stage = mpdf_obs::stage!("obs.test.alloc_disabled");
+        let buf: Vec<u64> = Vec::with_capacity(256);
+        std::hint::black_box(&buf);
+    }
+    // The stage never interned a cell while disabled.
+    assert!(!allocs::stage_totals()
+        .iter()
+        .any(|(name, _, _)| *name == "obs.test.alloc_disabled"));
+    // And the process total did not move (nothing records when off).
+    let after: u64 = allocs::stage_totals()
+        .iter()
+        .find(|(name, _, _)| *name == "total")
+        .map(|(_, a, _)| *a)
+        .unwrap_or(0);
+    assert_eq!(before, after);
+}

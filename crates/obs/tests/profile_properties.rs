@@ -1,0 +1,177 @@
+//! Property-based tests for `mpdf_obs::profile`: span-tree
+//! reconstruction must be *total* — arbitrary malformed streams
+//! (unbalanced enter/exit, interleaved threads, ring-evicted prefixes,
+//! garbage NDJSON) always yield a profile — and self-time attribution
+//! can never exceed the time actually spanned.
+
+use mpdf_obs::profile::{self, SpanNode, TraceEvent};
+use mpdf_obs::trace::SpanKind;
+use proptest::prelude::*;
+
+const NAMES: [&str; 4] = [
+    "eval.window",
+    "music.scan",
+    "core.mu_k",
+    "core.score.combined",
+];
+
+/// Completely unconstrained events: kinds, names, threads, timestamps
+/// and durations all free — most generated streams are malformed.
+fn chaotic_events() -> impl Strategy<Value = Vec<TraceEvent>> {
+    proptest::collection::vec(
+        (
+            0u8..3,
+            0usize..NAMES.len(),
+            1u64..4,
+            0u64..10_000,
+            0u64..5_000,
+        )
+            .prop_map(|(kind, name, thread, ts_ns, elapsed_ns)| TraceEvent {
+                kind: match kind {
+                    0 => SpanKind::Enter,
+                    1 => SpanKind::Exit,
+                    _ => SpanKind::Instant,
+                },
+                name: NAMES[name].to_owned(),
+                thread,
+                ts_ns,
+                elapsed_ns,
+            }),
+        0..120,
+    )
+}
+
+/// Well-formed single-thread streams built with an explicit stack:
+/// every exit matches the innermost enter, timestamps are monotone,
+/// reported durations equal the timestamp span.
+fn balanced_events() -> impl Strategy<Value = Vec<TraceEvent>> {
+    proptest::collection::vec((0u8..2, 0usize..NAMES.len(), 1u64..50), 0..80).prop_map(|ops| {
+        let mut events = Vec::new();
+        let mut stack: Vec<(String, u64)> = Vec::new();
+        let mut ts = 0u64;
+        for (push, name, dt) in ops {
+            ts += dt;
+            if push == 1 {
+                let name = NAMES[name].to_owned();
+                stack.push((name.clone(), ts));
+                events.push(TraceEvent {
+                    kind: SpanKind::Enter,
+                    name,
+                    thread: 1,
+                    ts_ns: ts,
+                    elapsed_ns: 0,
+                });
+            } else if let Some((name, start)) = stack.pop() {
+                events.push(TraceEvent {
+                    kind: SpanKind::Exit,
+                    name,
+                    thread: 1,
+                    ts_ns: ts,
+                    elapsed_ns: ts - start,
+                });
+            }
+        }
+        while let Some((name, start)) = stack.pop() {
+            ts += 1;
+            events.push(TraceEvent {
+                kind: SpanKind::Exit,
+                name,
+                thread: 1,
+                ts_ns: ts,
+                elapsed_ns: ts - start,
+            });
+        }
+        events
+    })
+}
+
+/// Sum of `self_ns` over a whole subtree.
+fn subtree_self_sum(node: &SpanNode) -> u64 {
+    node.self_ns() + node.children.iter().map(subtree_self_sum).sum::<u64>()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn reconstruction_is_total_on_chaotic_streams(events in chaotic_events()) {
+        let profile = profile::reconstruct(&events);
+        prop_assert_eq!(profile.events, events.len() as u64);
+        // Self attribution is bounded by each root's span even when the
+        // stream lied about durations.
+        for tree in &profile.threads {
+            for root in &tree.roots {
+                prop_assert!(
+                    subtree_self_sum(root) <= root.total_ns,
+                    "self sum {} exceeds root total {} for {}",
+                    subtree_self_sum(root), root.total_ns, root.name
+                );
+            }
+        }
+        // Aggregates agree between the per-stage view and the trees.
+        let stage_self: u64 = profile.stages.iter().map(|s| s.self_ns).sum();
+        let tree_self: u64 = profile
+            .threads
+            .iter()
+            .flat_map(|t| t.roots.iter().map(subtree_self_sum))
+            .sum();
+        prop_assert_eq!(stage_self, tree_self);
+        // Renderers are total too, and deterministic.
+        let table = profile::hotspot_table(&profile, 10);
+        prop_assert_eq!(&table, &profile::hotspot_table(&profile::reconstruct(&events), 10));
+        let _ = profile::collapsed_stacks(&profile);
+        let json = profile::to_json(&profile, 10);
+        prop_assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn balanced_streams_reconstruct_exactly(events in balanced_events()) {
+        let profile = profile::reconstruct(&events);
+        prop_assert!(!profile.anomalies.any(), "{:?}", profile.anomalies);
+        // Every enter/exit pair appears exactly once in the aggregates.
+        let exits = events.iter().filter(|e| e.kind == SpanKind::Exit).count() as u64;
+        let occurrences: u64 = profile.stages.iter().map(|s| s.count).sum();
+        prop_assert_eq!(occurrences, exits);
+        // Durations were consistent with timestamps, so self sums equal
+        // root totals exactly (no saturation triggered).
+        for tree in &profile.threads {
+            for root in &tree.roots {
+                prop_assert_eq!(subtree_self_sum(root), root.total_ns);
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_streams_stay_total(events in balanced_events(), cut in 0usize..40) {
+        // Simulate a bounded ring evicting the oldest `cut` events.
+        let cut = cut.min(events.len());
+        let truncated = &events[cut..];
+        let profile = profile::reconstruct_with_dropped(truncated, cut as u64);
+        prop_assert_eq!(profile.anomalies.dropped_events, cut as u64);
+        prop_assert_eq!(profile.events, truncated.len() as u64);
+        for tree in &profile.threads {
+            for root in &tree.roots {
+                prop_assert!(subtree_self_sum(root) <= root.total_ns);
+            }
+        }
+        if cut == 0 {
+            prop_assert!(!profile.anomalies.any());
+        }
+    }
+
+    #[test]
+    fn ndjson_parser_is_total_on_garbage(
+        bytes in proptest::collection::vec(0u8..128, 0..400)
+    ) {
+        // Printable-ish ASCII plus newlines/quotes/braces: enough to hit
+        // torn JSON, stray quotes and unbalanced braces.
+        let text: String = bytes
+            .iter()
+            .map(|&b| if b == 0 { '\n' } else { char::from(b) })
+            .collect();
+        let (events, malformed) = profile::parse_ndjson(&text);
+        let lines = text.lines().filter(|l| !l.trim().is_empty()).count() as u64;
+        prop_assert!(events.len() as u64 + malformed <= lines);
+        let _ = profile::reconstruct(&events);
+    }
+}

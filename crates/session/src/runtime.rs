@@ -393,6 +393,7 @@ impl<S: DetectionScheme + Clone> SessionRuntime<S> {
     /// abstain instead of erroring.
     pub fn step(&mut self, window: &[CsiPacket]) -> Result<SessionDecision, DetectError> {
         let _stage = mpdf_obs::stage!("session.step");
+        mpdf_obs::trajectory::tick();
         mpdf_obs::counter!("session.windows_total").inc();
         let widx = self.cursor;
         self.cursor += 1;

@@ -3,8 +3,8 @@
 //!
 //! A report is a JSON array of records shaped like
 //! `{"name": "group/bench", "mean_ns_per_iter": 1234.5, ...}`; this
-//! module parses two of them (with a small self-contained JSON reader —
-//! the xtask gate is std-only), joins the records by name and classifies
+//! module parses two of them (with the shared std-only reader in
+//! [`crate::json`]), joins the records by name and classifies
 //! each pair by the relative change of `mean_ns_per_iter`. CI runs it as
 //! `cargo xtask bench-diff <old.json> <new.json> [--threshold <pct>]`
 //! after regenerating benches, so a hot-path regression fails the job
@@ -12,6 +12,8 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+
+use crate::json::{parse_document, Json};
 
 /// One benchmark's name and mean cost from a report file.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,11 +70,7 @@ pub struct BenchDiff {
 /// A description of the first malformed construct (bad JSON, non-array
 /// top level, records without the two required fields).
 pub fn parse_report(text: &str) -> Result<Vec<BenchRecord>, String> {
-    let (value, rest) = parse_value(text.trim_start())?;
-    if !rest.trim_start().is_empty() {
-        return Err("trailing data after top-level JSON value".to_owned());
-    }
-    let Json::Arr(items) = value else {
+    let Json::Arr(items) = parse_document(text)? else {
         return Err("bench report must be a top-level JSON array".to_owned());
     };
     let mut records = Vec::with_capacity(items.len());
@@ -150,122 +148,6 @@ pub fn diff(old: &[BenchRecord], new: &[BenchRecord], threshold_pct: f64) -> Ben
         }
     }
     out
-}
-
-/// Minimal JSON value for report parsing.
-enum Json {
-    Num(f64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-    Other,
-}
-
-/// Parses one JSON value at the start of `s`, returning it and the
-/// unconsumed remainder.
-fn parse_value(s: &str) -> Result<(Json, &str), String> {
-    let s = s.trim_start();
-    match s.as_bytes().first() {
-        Some(b'[') => parse_array(s),
-        Some(b'{') => parse_object(s),
-        Some(b'"') => {
-            let (string, rest) = parse_string(s)?;
-            Ok((Json::Str(string), rest))
-        }
-        Some(b't') => parse_literal(s, "true"),
-        Some(b'f') => parse_literal(s, "false"),
-        Some(b'n') => parse_literal(s, "null"),
-        Some(_) => parse_number(s),
-        None => Err("unexpected end of input".to_owned()),
-    }
-}
-
-fn parse_literal<'a>(s: &'a str, lit: &str) -> Result<(Json, &'a str), String> {
-    s.strip_prefix(lit)
-        .map(|rest| (Json::Other, rest))
-        .ok_or_else(|| format!("invalid literal near `{}`", truncated(s)))
-}
-
-fn parse_array(s: &str) -> Result<(Json, &str), String> {
-    let mut rest = skip_expected(s, '[')?;
-    let mut items = Vec::new();
-    loop {
-        rest = rest.trim_start();
-        if let Ok(after) = skip_expected(rest, ']') {
-            return Ok((Json::Arr(items), after));
-        }
-        if !items.is_empty() {
-            rest = skip_expected(rest, ',')?;
-        }
-        let (value, after) = parse_value(rest)?;
-        items.push(value);
-        rest = after;
-    }
-}
-
-fn parse_object(s: &str) -> Result<(Json, &str), String> {
-    let mut rest = skip_expected(s, '{')?;
-    let mut fields = Vec::new();
-    loop {
-        rest = rest.trim_start();
-        if let Ok(after) = skip_expected(rest, '}') {
-            return Ok((Json::Obj(fields), after));
-        }
-        if !fields.is_empty() {
-            rest = skip_expected(rest, ',')?;
-        }
-        let (key, after) = parse_string(rest.trim_start())?;
-        rest = skip_expected(after.trim_start(), ':')?;
-        let (value, after) = parse_value(rest)?;
-        fields.push((key, value));
-        rest = after;
-    }
-}
-
-fn parse_string(s: &str) -> Result<(String, &str), String> {
-    let rest = skip_expected(s, '"')?;
-    let mut out = String::new();
-    let mut chars = rest.char_indices();
-    while let Some((i, c)) = chars.next() {
-        match c {
-            '"' => return Ok((out, &rest[i + 1..])),
-            '\\' => match chars.next() {
-                Some((_, '"')) => out.push('"'),
-                Some((_, '\\')) => out.push('\\'),
-                Some((_, '/')) => out.push('/'),
-                Some((_, 'n')) => out.push('\n'),
-                Some((_, 't')) => out.push('\t'),
-                Some((_, 'r')) => out.push('\r'),
-                Some((_, other)) => {
-                    return Err(format!("unsupported string escape `\\{other}`"));
-                }
-                None => return Err("unterminated string escape".to_owned()),
-            },
-            _ => out.push(c),
-        }
-    }
-    Err("unterminated string".to_owned())
-}
-
-fn parse_number(s: &str) -> Result<(Json, &str), String> {
-    let end = s
-        .find(|c: char| !matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
-        .unwrap_or(s.len());
-    let (num, rest) = s.split_at(end);
-    num.parse::<f64>()
-        .map(|n| (Json::Num(n), rest))
-        .map_err(|_| format!("invalid number near `{}`", truncated(s)))
-}
-
-fn skip_expected(s: &str, c: char) -> Result<&str, String> {
-    s.trim_start()
-        .strip_prefix(c)
-        .ok_or_else(|| format!("expected `{c}` near `{}`", truncated(s)))
-}
-
-fn truncated(s: &str) -> &str {
-    let end = s.char_indices().nth(24).map_or_else(|| s.len(), |(i, _)| i);
-    &s[..end]
 }
 
 #[cfg(test)]

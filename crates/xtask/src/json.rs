@@ -1,0 +1,147 @@
+//! Minimal self-contained JSON reader shared by the report-diff tools
+//! (`bench-diff`, `obs-diff`). The xtask gate is std-only — it must
+//! build offline with no crate registry — so the machine-readable
+//! artifacts it consumes (`BENCH_*.json`, `OBS_metrics.json`) are parsed
+//! with this tree reader instead of serde. Values the tools don't need
+//! (booleans, null) collapse to [`Json::Other`].
+
+/// A parsed JSON value.
+pub enum Json {
+    /// A number (all JSON numbers read as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, fields in document order.
+    Obj(Vec<(String, Json)>),
+    /// `true` / `false` / `null` — present but uninteresting.
+    Other,
+}
+
+/// Parses one JSON value at the start of `s`, returning it and the
+/// unconsumed remainder.
+///
+/// # Errors
+/// A description of the first malformed construct.
+pub fn parse_value(s: &str) -> Result<(Json, &str), String> {
+    let s = s.trim_start();
+    match s.as_bytes().first() {
+        Some(b'[') => parse_array(s),
+        Some(b'{') => parse_object(s),
+        Some(b'"') => {
+            let (string, rest) = parse_string(s)?;
+            Ok((Json::Str(string), rest))
+        }
+        Some(b't') => parse_literal(s, "true"),
+        Some(b'f') => parse_literal(s, "false"),
+        Some(b'n') => parse_literal(s, "null"),
+        Some(_) => parse_number(s),
+        None => Err("unexpected end of input".to_owned()),
+    }
+}
+
+/// Parses a whole document: one top-level value with nothing after it.
+///
+/// # Errors
+/// Malformed JSON or trailing data.
+pub fn parse_document(text: &str) -> Result<Json, String> {
+    let (value, rest) = parse_value(text.trim_start())?;
+    if !rest.trim_start().is_empty() {
+        return Err("trailing data after top-level JSON value".to_owned());
+    }
+    Ok(value)
+}
+
+fn parse_literal<'a>(s: &'a str, lit: &str) -> Result<(Json, &'a str), String> {
+    s.strip_prefix(lit)
+        .map(|rest| (Json::Other, rest))
+        .ok_or_else(|| format!("invalid literal near `{}`", truncated(s)))
+}
+
+fn parse_array(s: &str) -> Result<(Json, &str), String> {
+    let mut rest = skip_expected(s, '[')?;
+    let mut items = Vec::new();
+    loop {
+        rest = rest.trim_start();
+        if let Ok(after) = skip_expected(rest, ']') {
+            return Ok((Json::Arr(items), after));
+        }
+        if !items.is_empty() {
+            rest = skip_expected(rest, ',')?;
+        }
+        let (value, after) = parse_value(rest)?;
+        items.push(value);
+        rest = after;
+    }
+}
+
+fn parse_object(s: &str) -> Result<(Json, &str), String> {
+    let mut rest = skip_expected(s, '{')?;
+    let mut fields = Vec::new();
+    loop {
+        rest = rest.trim_start();
+        if let Ok(after) = skip_expected(rest, '}') {
+            return Ok((Json::Obj(fields), after));
+        }
+        if !fields.is_empty() {
+            rest = skip_expected(rest, ',')?;
+        }
+        let (key, after) = parse_string(rest.trim_start())?;
+        rest = skip_expected(after.trim_start(), ':')?;
+        let (value, after) = parse_value(rest)?;
+        fields.push((key, value));
+        rest = after;
+    }
+}
+
+/// Parses a leading JSON string literal, returning the unescaped body
+/// and the remainder after the closing quote.
+///
+/// # Errors
+/// Unterminated strings or unsupported escapes.
+pub fn parse_string(s: &str) -> Result<(String, &str), String> {
+    let rest = skip_expected(s, '"')?;
+    let mut out = String::new();
+    let mut chars = rest.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Ok((out, &rest[i + 1..])),
+            '\\' => match chars.next() {
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, '/')) => out.push('/'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, 'r')) => out.push('\r'),
+                Some((_, other)) => {
+                    return Err(format!("unsupported string escape `\\{other}`"));
+                }
+                None => return Err("unterminated string escape".to_owned()),
+            },
+            _ => out.push(c),
+        }
+    }
+    Err("unterminated string".to_owned())
+}
+
+fn parse_number(s: &str) -> Result<(Json, &str), String> {
+    let end = s
+        .find(|c: char| !matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
+        .unwrap_or(s.len());
+    let (num, rest) = s.split_at(end);
+    num.parse::<f64>()
+        .map(|n| (Json::Num(n), rest))
+        .map_err(|_| format!("invalid number near `{}`", truncated(s)))
+}
+
+fn skip_expected(s: &str, c: char) -> Result<&str, String> {
+    s.trim_start()
+        .strip_prefix(c)
+        .ok_or_else(|| format!("expected `{c}` near `{}`", truncated(s)))
+}
+
+fn truncated(s: &str) -> &str {
+    let end = s.char_indices().nth(24).map_or_else(|| s.len(), |(i, _)| i);
+    &s[..end]
+}

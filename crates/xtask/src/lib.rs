@@ -9,6 +9,13 @@
 //! orchestrated by [`lint`] and reported through [`report`] (human
 //! lines or the `--json` machine report).
 //!
+//! Next to the lint gate live the report tools: [`benchdiff`] (wall-time
+//! regression gate over `BENCH_*.json`), [`obsdiff`] (SLO gate over
+//! `OBS_metrics.json` snapshots against the `OBS_budgets.txt` manifest)
+//! and [`tracereport`] (span-tree profiling of `repro --trace`
+//! captures, built on `mpdf_obs::profile`), sharing the std-only
+//! [`json`] reader.
+//!
 //! It is a library (not just a binary) so `crates/bench` can measure
 //! full-workspace lint wall time, and so fixture tests can drive the
 //! engine in-process.
@@ -22,9 +29,12 @@
 pub mod benchdiff;
 pub mod concurrency;
 pub mod determinism;
+pub mod json;
 pub mod lexer;
 pub mod lint;
 pub mod metrics;
+pub mod obsdiff;
 pub mod report;
 pub mod rules;
 pub mod stream;
+pub mod tracereport;

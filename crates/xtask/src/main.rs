@@ -19,6 +19,16 @@
 //!   if any mean regressed beyond the threshold (default 25%). CI's
 //!   bench job diffs freshly generated numbers against the committed
 //!   reference so hot-path regressions fail loudly.
+//! - `cargo xtask trace-report <trace.ndjson> [--top <n>] [--json]
+//!   [--collapse <path>] [--strict]` — reconstruct the span trees of a
+//!   `repro --trace` capture and print the hotspot table and critical
+//!   path (or the machine report with `--json`). `--collapse` writes
+//!   flamegraph-compatible collapsed stacks. Incomplete traces warn on
+//!   stderr; `--strict` turns those warnings into exit 1.
+//! - `cargo xtask obs-diff <old.json> <new.json> --budgets <manifest>`
+//!   — gate two `OBS_metrics.json` snapshots against the per-metric
+//!   latency/allocation budgets in `OBS_budgets.txt`; exit 1 on any
+//!   violated budget, mirroring `bench-diff` in CI.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,7 +40,9 @@ use std::process::ExitCode;
 
 use xtask::benchdiff;
 use xtask::lint;
+use xtask::obsdiff;
 use xtask::report::{self, Rule};
+use xtask::tracereport;
 
 /// Exit code for violations found (distinct from usage/I/O errors).
 const EXIT_FINDINGS: u8 = 1;
@@ -46,10 +58,15 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("bench-diff") => run_bench_diff(&args[1..]),
+        Some("trace-report") => run_trace_report(&args[1..]),
+        Some("obs-diff") => run_obs_diff(&args[1..]),
         _ => {
             eprintln!(
                 "usage: cargo xtask <lint [--root <path>] [--json [<path>]] | rules | \
-                 bench-diff <old.json> <new.json> [--threshold <pct>]>"
+                 bench-diff <old.json> <new.json> [--threshold <pct>] | \
+                 trace-report <trace.ndjson> [--top <n>] [--json] [--collapse <path>] \
+                 [--strict] | \
+                 obs-diff <old.json> <new.json> --budgets <manifest>>"
             );
             ExitCode::from(EXIT_ERROR)
         }
@@ -183,6 +200,157 @@ fn run_bench_diff(args: &[String]) -> ExitCode {
         d.added.len()
     );
     if d.regressions.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(EXIT_FINDINGS)
+    }
+}
+
+/// Runs `trace-report <trace.ndjson> [--top <n>] [--json]
+/// [--collapse <path>] [--strict]`.
+fn run_trace_report(args: &[String]) -> ExitCode {
+    let mut path: Option<&String> = None;
+    let mut top = 15usize;
+    let mut json = false;
+    let mut strict = false;
+    let mut collapse: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--top" => {
+                let Some(raw) = args.get(i + 1) else {
+                    eprintln!("--top requires a count argument");
+                    return ExitCode::from(EXIT_ERROR);
+                };
+                match raw.parse::<usize>() {
+                    Ok(n) if n > 0 => top = n,
+                    _ => {
+                        eprintln!("--top must be a positive integer, got `{raw}`");
+                        return ExitCode::from(EXIT_ERROR);
+                    }
+                }
+                i += 2;
+            }
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            "--strict" => {
+                strict = true;
+                i += 1;
+            }
+            "--collapse" => {
+                let Some(raw) = args.get(i + 1) else {
+                    eprintln!("--collapse requires a path argument");
+                    return ExitCode::from(EXIT_ERROR);
+                };
+                collapse = Some(PathBuf::from(raw));
+                i += 2;
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown trace-report argument `{other}`");
+                return ExitCode::from(EXIT_ERROR);
+            }
+            _ if path.is_none() => {
+                path = Some(&args[i]);
+                i += 1;
+            }
+            other => {
+                eprintln!("unexpected extra operand `{other}`");
+                return ExitCode::from(EXIT_ERROR);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!(
+            "usage: cargo xtask trace-report <trace.ndjson> [--top <n>] [--json] \
+             [--collapse <path>] [--strict]"
+        );
+        return ExitCode::from(EXIT_ERROR);
+    };
+    let text = match fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("xtask trace-report: cannot read {path}: {err}");
+            return ExitCode::from(EXIT_ERROR);
+        }
+    };
+    let profile = tracereport::analyze(&text);
+    if let Some(warning) = tracereport::anomaly_warning(&profile) {
+        eprintln!("xtask trace-report: {warning}");
+    }
+    if let Some(dest) = &collapse {
+        let stacks = mpdf_obs::profile::collapsed_stacks(&profile);
+        if let Err(err) = fs::write(dest, stacks) {
+            eprintln!("xtask trace-report: cannot write {}: {err}", dest.display());
+            return ExitCode::from(EXIT_ERROR);
+        }
+    }
+    if json {
+        print!("{}", mpdf_obs::profile::to_json(&profile, top));
+    } else {
+        print!("{}", tracereport::render_human(&profile, top));
+    }
+    if strict && profile.anomalies.any() {
+        ExitCode::from(EXIT_FINDINGS)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Runs `obs-diff <old.json> <new.json> --budgets <manifest>`.
+fn run_obs_diff(args: &[String]) -> ExitCode {
+    let mut paths: Vec<&String> = Vec::new();
+    let mut budgets_path: Option<&String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--budgets" {
+            let Some(raw) = args.get(i + 1) else {
+                eprintln!("--budgets requires a manifest path argument");
+                return ExitCode::from(EXIT_ERROR);
+            };
+            budgets_path = Some(raw);
+            i += 2;
+        } else {
+            paths.push(&args[i]);
+            i += 1;
+        }
+    }
+    let ([old_path, new_path], Some(budgets_path)) = (paths.as_slice(), budgets_path) else {
+        eprintln!("usage: cargo xtask obs-diff <old.json> <new.json> --budgets <manifest>");
+        return ExitCode::from(EXIT_ERROR);
+    };
+    let load_doc = |path: &str| -> Result<obsdiff::MetricsDoc, String> {
+        let text = fs::read_to_string(path).map_err(|err| format!("cannot read {path}: {err}"))?;
+        obsdiff::parse_metrics(&text).map_err(|err| format!("{path}: {err}"))
+    };
+    let load_budgets = || -> Result<Vec<obsdiff::Budget>, String> {
+        let text = fs::read_to_string(budgets_path)
+            .map_err(|err| format!("cannot read {budgets_path}: {err}"))?;
+        obsdiff::parse_budgets(&text).map_err(|err| format!("{budgets_path}: {err}"))
+    };
+    let (old, new, budgets) = match (load_doc(old_path), load_doc(new_path), load_budgets()) {
+        (Ok(old), Ok(new), Ok(budgets)) => (old, new, budgets),
+        (Err(err), _, _) | (_, Err(err), _) | (_, _, Err(err)) => {
+            eprintln!("xtask obs-diff: {err}");
+            return ExitCode::from(EXIT_ERROR);
+        }
+    };
+    let d = obsdiff::check(&old, &new, &budgets);
+    for violation in &d.violations {
+        println!("OVER BUDGET  {violation}");
+    }
+    for note in &d.skipped {
+        println!("skipped      {note}");
+    }
+    println!(
+        "xtask obs-diff: {} over budget, {} within, {} skipped ({} budget(s) checked)",
+        d.violations.len(),
+        d.passed,
+        d.skipped.len(),
+        budgets.len()
+    );
+    if d.violations.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(EXIT_FINDINGS)

@@ -1,0 +1,125 @@
+//! `trace-report`: span-stream analysis of a `repro --trace` NDJSON
+//! capture.
+//!
+//! The heavy lifting — stream parsing, per-thread span-tree
+//! reconstruction, self/total attribution, critical path, collapsed
+//! stacks — lives in `mpdf_obs::profile` (the library owns its wire
+//! format; the tool just drives it). This module turns a trace file's
+//! text into a [`Profile`] and renders the human report; the binary
+//! decides exit codes and where the output goes.
+
+use mpdf_obs::profile::{self, Profile};
+
+/// Analyzes a trace capture: parses the NDJSON text (totally — torn
+/// lines are counted, not fatal) and reconstructs the span forest.
+#[must_use]
+pub fn analyze(text: &str) -> Profile {
+    let (events, malformed) = profile::parse_ndjson(text);
+    let mut prof = profile::reconstruct(&events);
+    prof.anomalies.malformed_lines = malformed;
+    prof
+}
+
+/// Renders the human report: stream summary, top-`top` hotspot table,
+/// critical path. Deterministic for a given trace file.
+#[must_use]
+pub fn render_human(prof: &Profile, top: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "trace: {} events, {} thread(s), {:.3} ms wall\n\n",
+        prof.events,
+        prof.threads.len(),
+        prof.wall_ns as f64 / 1e6
+    ));
+    out.push_str("hotspots (by self time):\n");
+    out.push_str(&profile::hotspot_table(prof, top));
+    out.push_str("\ncritical path:\n");
+    out.push_str(&profile::critical_path_text(prof));
+    out
+}
+
+/// One-line warning when the reconstruction had to repair the stream,
+/// or `None` for a clean trace. The binary prints this to stderr so the
+/// report itself never silently presents a truncated tree as complete.
+#[must_use]
+pub fn anomaly_warning(prof: &Profile) -> Option<String> {
+    let a = &prof.anomalies;
+    if !a.any() {
+        return None;
+    }
+    Some(format!(
+        "warning: incomplete trace — {} malformed line(s), {} unmatched exit(s), \
+         {} mismatched nesting(s), {} unclosed span(s), {} dropped event(s); \
+         the tree below is reconstructed from what survived",
+        a.malformed_lines,
+        a.unmatched_exits,
+        a.mismatched_nesting,
+        a.unclosed_spans,
+        a.dropped_events
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use mpdf_obs::trace::{SpanEvent, SpanKind};
+
+    fn ndjson(events: &[SpanEvent]) -> String {
+        events
+            .iter()
+            .map(|e| e.to_ndjson() + "\n")
+            .collect::<String>()
+    }
+
+    fn exit(name: &'static str, ts_ns: u64, elapsed_ns: u64) -> SpanEvent {
+        SpanEvent {
+            kind: SpanKind::Exit,
+            name,
+            parent: None,
+            depth: 1,
+            thread: 1,
+            ts_ns,
+            elapsed_ns,
+        }
+    }
+
+    fn enter(name: &'static str, ts_ns: u64) -> SpanEvent {
+        SpanEvent {
+            kind: SpanKind::Enter,
+            ..exit(name, ts_ns, 0)
+        }
+    }
+
+    #[test]
+    fn analyze_builds_a_deterministic_report() {
+        let text = ndjson(&[
+            enter("eval.window", 0),
+            enter("music.scan", 10),
+            exit("music.scan", 80, 70),
+            exit("eval.window", 100, 100),
+        ]);
+        let prof = analyze(&text);
+        assert!(anomaly_warning(&prof).is_none());
+        let report = render_human(&prof, 10);
+        assert!(report.contains("hotspots"), "{report}");
+        assert!(report.contains("music.scan"), "{report}");
+        assert!(report.contains("critical path"), "{report}");
+        assert_eq!(report, render_human(&analyze(&text), 10));
+        // music.scan carries 70 of the 100ns, so it leads the table.
+        let scan_at = report.find("music.scan").expect("scan row");
+        let window_at = report.find("eval.window").expect("window row");
+        assert!(scan_at < window_at, "{report}");
+    }
+
+    #[test]
+    fn torn_capture_warns_but_reports() {
+        let mut text = ndjson(&[enter("eval.window", 0), enter("music.scan", 10)]);
+        text.push_str("{\"ev\":\"exit\",\"span\":\"musi"); // killed mid-write
+        let prof = analyze(&text);
+        let warning = anomaly_warning(&prof).expect("anomalies present");
+        assert!(warning.contains("1 malformed line(s)"), "{warning}");
+        assert!(warning.contains("2 unclosed span(s)"), "{warning}");
+        assert!(render_human(&prof, 10).contains("music.scan"));
+    }
+}
