@@ -30,6 +30,7 @@ use mpdf_rfmath::eig::hermitian_eig;
 use mpdf_rfmath::matrix::CMatrix;
 use mpdf_wifi::band::Band;
 use mpdf_wifi::sanitize::sanitize_packet;
+use mpdf_wifi::wire;
 
 fn bench_numerics(c: &mut Criterion) {
     let mut g = c.benchmark_group("numerics");
@@ -128,6 +129,42 @@ fn bench_detection(c: &mut Criterion) {
                     .score(&profile, &window, &config)
                     .unwrap(),
             )
+        });
+    });
+    g.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let (_, window, _) = bench_fixture();
+    // One 3×30 frame: split + header validation + borrow, no packet
+    // materialization — the zero-alloc hot path of the ingest loop.
+    let mut g = c.benchmark_group("wire");
+    let mut frame = Vec::new();
+    // lint: allow(no-panic) — bench fixture; aborting on a broken fixture is the desired behaviour
+    wire::encode_frame(&window[0], 40, &mut frame).expect("3x30 fits the wire");
+    g.bench_function("decode_frame", |b| {
+        b.iter(|| {
+            // lint: allow(no-panic) — bench fixture; aborting on a broken fixture is the desired behaviour
+            black_box(wire::WireRecord::parse(black_box(&frame)).expect("valid frame"))
+        });
+    });
+    g.finish();
+
+    // End-to-end ingest of one decision window's burst (25 packets of
+    // 30 subcarriers): frame splitting plus packet materialization —
+    // packets/sec/core is `window.len() / mean_ns_per_iter`.
+    let mut g = c.benchmark_group("stream");
+    let mut burst = Vec::new();
+    for packet in &window {
+        // lint: allow(no-panic) — bench fixture; aborting on a broken fixture is the desired behaviour
+        wire::encode_frame(packet, 40, &mut burst).expect("3x30 fits the wire");
+    }
+    g.bench_function("ingest_30sub", |b| {
+        let mut out = Vec::with_capacity(window.len());
+        b.iter(|| {
+            out.clear();
+            let stats = wire::drain_frames(black_box(&burst), &mut out);
+            black_box(stats.frames)
         });
     });
     g.finish();
@@ -248,6 +285,7 @@ criterion_group!(
     bench_numerics,
     bench_physics,
     bench_detection,
+    bench_wire,
     bench_obs,
     bench_xtask
 );

@@ -47,6 +47,11 @@ experiments:
   ext-hmm ext-array ext-ablate ext-sweep ext-chaos ext-drift all
   (default: fig7)
 
+  stream             replay the recorded campaign through the CSI wire codec
+                     and bounded-queue ingest path at max speed, verifying
+                     stream-path scores bit-identical to the offline pass
+                     (runs alone, not part of `all`)
+
 options:
   --snr <db>         per-subcarrier SNR in dB
   --bg <rate>        background-dynamics rate in [0, 1]
@@ -75,6 +80,9 @@ options:
   --session          run a supervised long-running session demo instead of
                      experiments: drift sentinels, staged recalibration and
                      per-window checkpointing (one line per window)
+  --chunk <bytes>    stream mode: wire bytes per ingest chunk (default 1460,
+                     deliberately smaller than one 3x30 frame so every frame
+                     crosses a chunk boundary)
   --checkpoint <p>   session checkpoint file; an existing checkpoint is
                      resumed from its window cursor, bit-identically
   --kill-after <n>   exit after processing n windows of this session run,
@@ -95,6 +103,7 @@ struct Options {
     traj_every: u64,
     experiments: Vec<String>,
     session: Option<mpdf_eval::session::SessionDemoOptions>,
+    stream: mpdf_eval::stream::StreamOptions,
     help: bool,
 }
 
@@ -127,6 +136,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut traj_every = 64u64;
     let mut session = false;
     let mut session_opts = mpdf_eval::session::SessionDemoOptions::default();
+    let mut stream_opts = mpdf_eval::stream::StreamOptions::default();
     let mut help = false;
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
@@ -181,6 +191,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     return Err("bad value `0` for --traj-every: must be at least 1".to_string());
                 }
             }
+            "chunk" => {
+                stream_opts.chunk_bytes = parse_num(flag, value, "a positive integer")?;
+                if stream_opts.chunk_bytes == 0 {
+                    return Err("bad value `0` for --chunk: must be at least 1".to_string());
+                }
+            }
             "checkpoint" => session_opts.checkpoint = Some(std::path::PathBuf::from(value)),
             "kill-after" => {
                 session_opts.kill_after = Some(parse_num(flag, value, "a non-negative integer")?);
@@ -205,6 +221,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         traj_every,
         experiments,
         session: session.then_some(session_opts),
+        stream: stream_opts,
         help,
     })
 }
@@ -490,6 +507,45 @@ fn main() {
         println!("{USAGE}");
         return;
     }
+    // Stream mode replaces the experiment fan-out: record the campaign,
+    // replay it through the wire codec + bounded-queue path, and verify
+    // bit-identity with the offline scoring pass. Kept out of `all` so
+    // `repro all` output is unchanged; throughput goes to stderr so the
+    // stdout report stays deterministic.
+    if opts.experiments.iter().any(|e| e == "stream") {
+        if opts.experiments.len() != 1 {
+            eprintln!("error: `stream` runs alone, not alongside other experiments");
+            std::process::exit(2);
+        }
+        let started = std::time::Instant::now();
+        let run = match mpdf_eval::stream::run_stream(&opts.cfg, &opts.stream) {
+            Ok(run) => run,
+            Err(e) => {
+                eprintln!("error: stream: {e}");
+                flush_observability(&opts);
+                std::process::exit(1);
+            }
+        };
+        println!("{}", mpdf_eval::stream::report(&run));
+        eprintln!(
+            "[stream done in {:.1}s: {} packets over the wire at {:.0} packets/s]\n",
+            started.elapsed().as_secs_f64(),
+            run.packets_total,
+            run.packets_per_second(),
+        );
+        let mut failed = !run.all_match();
+        if failed {
+            eprintln!("error: stream-path scores diverge from the offline path");
+        }
+        if flush_observability(&opts) > 0 {
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        return;
+    }
+
     let selected: Vec<&str> = if opts.experiments.iter().any(|e| e == "all") {
         ALL_EXPERIMENTS.to_vec()
     } else {

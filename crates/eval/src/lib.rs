@@ -12,4 +12,5 @@ pub mod metrics;
 pub mod report;
 pub mod scenario;
 pub mod session;
+pub mod stream;
 pub mod workload;

@@ -1,0 +1,118 @@
+//! The streaming contract: replaying a recorded campaign through the
+//! wire codec + bounded-queue ingest path must reproduce the offline
+//! scoring pass **bit-identically**, at any thread count and any chunk
+//! size — the wire format, the splitter reassembly and the epoch
+//! batching are all lossless by construction, and this test pins it.
+
+use mpdf_core::profile::DetectorConfig;
+use mpdf_core::scheme::{Baseline, SubcarrierAndPathWeighting, SubcarrierWeighting};
+use mpdf_eval::scenario::five_cases;
+use mpdf_eval::stream::{run_stream, stream_case_scores, StreamOptions};
+use mpdf_eval::workload::{run_campaign, score_campaign, CampaignConfig, ScoredWindow};
+
+fn tiny_config(threads: usize) -> CampaignConfig {
+    CampaignConfig {
+        calibration_packets: 120,
+        episodes_per_position: 1,
+        negative_windows: 4,
+        detector: DetectorConfig {
+            window: 10,
+            ..DetectorConfig::default()
+        },
+        threads,
+        ..CampaignConfig::default()
+    }
+}
+
+fn offline_bits(scores: &[ScoredWindow], case_id: usize) -> Vec<u64> {
+    scores
+        .iter()
+        .filter(|s| s.case_id == case_id)
+        .map(|s| s.score.to_bits())
+        .collect()
+}
+
+/// Streams every case at the given thread count and chunk size and
+/// compares each scheme's scores bitwise against the offline pass.
+fn assert_stream_matches_offline(threads: usize, chunk_bytes: usize) {
+    let cfg = tiny_config(threads);
+    let cases = &five_cases()[..2];
+    let data = run_campaign(cases, &cfg).expect("campaign");
+    let offline = [
+        score_campaign(&data, &Baseline, &cfg.detector).expect("baseline"),
+        score_campaign(&data, &SubcarrierWeighting, &cfg.detector).expect("subcarrier"),
+        score_campaign(&data, &SubcarrierAndPathWeighting, &cfg.detector).expect("combined"),
+    ];
+    let opts = StreamOptions {
+        chunk_bytes,
+        ..StreamOptions::default()
+    };
+    for case in &data {
+        let (scores, stats) =
+            stream_case_scores(case, &cfg.detector, threads, &opts).expect("stream case");
+        assert_eq!(stats.epochs, case.windows.len(), "every window scored");
+        assert_eq!(stats.rejects, 0, "clean replay has no resyncs");
+        for (scheme_idx, reference) in offline.iter().enumerate() {
+            let streamed: Vec<u64> = scores
+                .iter()
+                .filter_map(|epoch| epoch[scheme_idx])
+                .map(f64::to_bits)
+                .collect();
+            assert_eq!(
+                streamed,
+                offline_bits(reference, case.case_id),
+                "scheme {scheme_idx} diverged for case {} at {threads} thread(s), \
+                 {chunk_bytes}-byte chunks",
+                case.case_id
+            );
+        }
+    }
+}
+
+#[test]
+fn stream_scores_are_bit_identical_to_offline_serial() {
+    assert_stream_matches_offline(1, 1460);
+}
+
+#[test]
+fn stream_scores_are_bit_identical_to_offline_on_four_threads() {
+    assert_stream_matches_offline(4, 1460);
+}
+
+#[test]
+fn chunk_size_cannot_change_a_single_bit() {
+    // A 7-byte chunk shreds every header across several pushes; the
+    // splitter's carry-over tail must reassemble them losslessly.
+    assert_stream_matches_offline(2, 7);
+}
+
+#[test]
+fn full_replay_reports_every_case_matching() {
+    let cfg = tiny_config(4);
+    let run = run_stream(&cfg, &StreamOptions::default()).expect("replay");
+    assert_eq!(run.cases.len(), 5);
+    assert!(
+        run.all_match(),
+        "stream path must match offline bit-for-bit"
+    );
+    assert!(run.packets_total > 0);
+    let report = mpdf_eval::stream::report(&run);
+    assert!(report.contains("5/5 cases score bit-identical"), "{report}");
+}
+
+#[test]
+fn ragged_recordings_are_a_typed_error() {
+    let cfg = tiny_config(1);
+    let cases = &five_cases()[..1];
+    let mut data = run_campaign(cases, &cfg).expect("campaign");
+    // Drop one packet from one window: the fixed-N epoch batching can no
+    // longer align the stream, which must surface as a typed error, not
+    // silently shifted windows.
+    data[0].windows[1].packets.pop();
+    let err = stream_case_scores(&data[0], &cfg.detector, 1, &StreamOptions::default())
+        .expect_err("ragged recording must be rejected");
+    assert!(
+        matches!(err, mpdf_core::error::DetectError::InvalidConfig { .. }),
+        "{err}"
+    );
+}

@@ -522,7 +522,7 @@ mod tests {
         let mut stale = stream(10);
         for x in &mut stale {
             for z in x.iter_mut() {
-                *z = *z * 50.0;
+                *z *= 50.0;
             }
         }
         let fresh = stream(6);

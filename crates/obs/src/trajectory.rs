@@ -111,12 +111,23 @@ impl Recorder {
         raws.sort_by_key(|r| r.windows);
         let mut last = self.baseline.counters.clone();
         let mut out = Vec::with_capacity(raws.len());
+        let mut anomalies = 0u64;
         for raw in raws {
             let counters = raw
                 .counters
                 .iter()
                 .map(|(name, value)| {
                     let prev = last.get(name).copied().unwrap_or(0);
+                    // Registry counters are monotonic, so a snapshot
+                    // below its predecessor is an anomaly (torn read,
+                    // registry reset between samples). Clamp the delta
+                    // to zero — an unchecked `u64` subtraction would
+                    // panic in debug and wrap to ~2^64 in release —
+                    // and surface the event instead of corrupting the
+                    // series.
+                    if value < &prev {
+                        anomalies += 1;
+                    }
                     (name.clone(), value.saturating_sub(prev))
                 })
                 .collect();
@@ -126,6 +137,9 @@ impl Recorder {
                 counters,
                 gauges: raw.gauges,
             });
+        }
+        if anomalies > 0 {
+            crate::counter!("obs.trajectory.anomalies_total").add(anomalies);
         }
         out
     }
@@ -276,6 +290,45 @@ mod tests {
             text,
             "{\"windows\":8,\"counters\":{\"a.b\":2},\"gauges\":{\"c.d\":-1}}\n"
         );
+    }
+
+    #[test]
+    fn counter_regressions_clamp_to_zero_and_count_an_anomaly() {
+        let _serial = test_lock();
+        let recorder = Recorder::new(1);
+        let name = "obs.test.regressing_counter".to_owned();
+        // Hand-plant snapshots where the counter goes 10 → 4 → 9: a
+        // monotonicity violation the delta derivation must absorb
+        // without underflow (debug panic / release wrap).
+        for (windows, value) in [(1u64, 10u64), (2, 4), (3, 9)] {
+            recorder
+                .samples
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(RawSample {
+                    windows,
+                    counters: [(name.clone(), value)].into_iter().collect(),
+                    gauges: BTreeMap::new(),
+                });
+        }
+        let before = crate::metrics::snapshot()
+            .counters
+            .iter()
+            .find(|(n, _)| n == "obs.trajectory.anomalies_total")
+            .map_or(0, |(_, v)| *v);
+        let samples = recorder.take_samples();
+        let deltas: Vec<u64> = samples.iter().map(|s| s.counters[&name]).collect();
+        assert_eq!(
+            deltas,
+            vec![10, 0, 5],
+            "regression clamps, recovery resumes"
+        );
+        let after = crate::metrics::snapshot()
+            .counters
+            .iter()
+            .find(|(n, _)| n == "obs.trajectory.anomalies_total")
+            .map_or(0, |(_, v)| *v);
+        assert_eq!(after - before, 1, "one regressing interval, one anomaly");
     }
 
     #[test]

@@ -72,6 +72,16 @@ pub enum CheckpointError {
     /// The decoded state fails semantic validation (profile shapes, HMM
     /// parameters).
     Invalid(DetectError),
+    /// Encode-side: a collection exceeds its length field's range, so it
+    /// cannot be checkpointed without silent truncation.
+    TooLarge {
+        /// Which collection overflowed.
+        what: &'static str,
+        /// Actual length.
+        len: usize,
+        /// Largest length the field can represent.
+        max: u64,
+    },
     /// Underlying I/O failure.
     Io(std::io::Error),
 }
@@ -90,6 +100,10 @@ impl fmt::Display for CheckpointError {
             ),
             CheckpointError::Corrupt(what) => write!(f, "checkpoint is corrupt: {what}"),
             CheckpointError::Invalid(e) => write!(f, "checkpoint state is invalid: {e}"),
+            CheckpointError::TooLarge { what, len, max } => write!(
+                f,
+                "cannot checkpoint {what}: {len} entries exceed the format's limit of {max}"
+            ),
             CheckpointError::Io(e) => write!(f, "i/o error on checkpoint: {e}"),
         }
     }
@@ -127,15 +141,34 @@ fn fnv1a(data: &[u8]) -> u64 {
     h
 }
 
+/// Checked conversion of a collection length into a `u32` length field;
+/// overflow is a typed error, never a silent truncation.
+fn len_u32(what: &'static str, len: usize) -> Result<u32, CheckpointError> {
+    u32::try_from(len).map_err(|_| CheckpointError::TooLarge {
+        what,
+        len,
+        max: u64::from(u32::MAX),
+    })
+}
+
+/// Checked conversion into a `u16` length field.
+fn len_u16(what: &'static str, len: usize) -> Result<u16, CheckpointError> {
+    u16::try_from(len).map_err(|_| CheckpointError::TooLarge {
+        what,
+        len,
+        max: u64::from(u16::MAX),
+    })
+}
+
 fn put_packets(
     buf: &mut BytesMut,
     windows: &[Vec<CsiPacket>],
     antennas: usize,
     subcarriers: usize,
-) {
-    buf.put_u32_le(windows.len() as u32);
+) -> Result<(), CheckpointError> {
+    buf.put_u32_le(len_u32("packet windows", windows.len())?);
     for w in windows {
-        buf.put_u32_le(w.len() as u32);
+        buf.put_u32_le(len_u32("packets in a window", w.len())?);
         for p in w {
             debug_assert!(
                 p.antennas() == antennas && p.subcarriers() == subcarriers,
@@ -152,6 +185,7 @@ fn put_packets(
             }
         }
     }
+    Ok(())
 }
 
 /// Serializes a session snapshot into a checkpoint byte image.
@@ -159,7 +193,12 @@ fn put_packets(
 /// All packet windows in the snapshot must share the profile's
 /// `(antennas, subcarriers)` shape — the runtime guarantees this (every
 /// window passed shape validation before being retained).
-pub fn encode_snapshot(snapshot: &SessionSnapshot) -> Bytes {
+///
+/// # Errors
+/// [`CheckpointError::TooLarge`] when a collection exceeds its length
+/// field's range (the format caps shapes at `u16` and window/packet
+/// counts at `u32`).
+pub fn encode_snapshot(snapshot: &SessionSnapshot) -> Result<Bytes, CheckpointError> {
     let antennas = snapshot.profile.antennas();
     let subcarriers = snapshot.profile.subcarriers();
     let mut payload = BytesMut::with_capacity(4096);
@@ -167,8 +206,8 @@ pub fn encode_snapshot(snapshot: &SessionSnapshot) -> Bytes {
     payload.put_f64_le(snapshot.threshold);
 
     // Profile.
-    payload.put_u16_le(antennas as u16);
-    payload.put_u16_le(subcarriers as u16);
+    payload.put_u16_le(len_u16("profile antennas", antennas)?);
+    payload.put_u16_le(len_u16("profile subcarriers", subcarriers)?);
     for row in snapshot.profile.static_amplitude() {
         for &v in row {
             payload.put_f64_le(v);
@@ -184,7 +223,7 @@ pub fn encode_snapshot(snapshot: &SessionSnapshot) -> Bytes {
         }
     }
     let spectrum = snapshot.profile.static_spectrum();
-    payload.put_u32_le(spectrum.angles_deg().len() as u32);
+    payload.put_u32_le(len_u32("spectrum angle grid", spectrum.angles_deg().len())?);
     for &a in spectrum.angles_deg() {
         payload.put_f64_le(a);
     }
@@ -222,8 +261,8 @@ pub fn encode_snapshot(snapshot: &SessionSnapshot) -> Bytes {
     payload.put_u32_le(snapshot.watchdog_strikes);
 
     // Packet windows.
-    put_packets(&mut payload, &snapshot.reservoir, antennas, subcarriers);
-    put_packets(&mut payload, &snapshot.shadow, antennas, subcarriers);
+    put_packets(&mut payload, &snapshot.reservoir, antennas, subcarriers)?;
+    put_packets(&mut payload, &snapshot.shadow, antennas, subcarriers)?;
 
     let mut buf = BytesMut::with_capacity(22 + payload.len());
     buf.put_slice(MAGIC);
@@ -232,7 +271,7 @@ pub fn encode_snapshot(snapshot: &SessionSnapshot) -> Bytes {
     buf.put_slice(&payload);
     let checksum = fnv1a(&buf);
     buf.put_u64_le(checksum);
-    buf.freeze()
+    Ok(buf.freeze())
 }
 
 /// Bounds-checked little-endian reader over the payload.
@@ -519,7 +558,7 @@ impl CheckpointStore {
     /// Propagates I/O failures.
     pub fn save(&self, snapshot: &SessionSnapshot) -> Result<(), CheckpointError> {
         let _stage = mpdf_obs::stage!("session.checkpoint");
-        let bytes = encode_snapshot(snapshot);
+        let bytes = encode_snapshot(snapshot)?;
         let tmp = self.sibling(".tmp");
         std::fs::write(&tmp, &bytes)?;
         if self.path.exists() {
@@ -599,9 +638,33 @@ mod tests {
     }
 
     #[test]
+    fn oversized_collections_are_a_typed_error_not_a_truncation() {
+        // The length fields are u16 (shape) and u32 (window/packet
+        // counts); lengths past them must fail loudly — the old `as`
+        // casts would silently wrap and write a decodable-but-wrong
+        // checkpoint.
+        assert_eq!(len_u16("profile antennas", 65_535).unwrap(), u16::MAX);
+        let err = len_u16("profile antennas", 65_536).unwrap_err();
+        assert!(matches!(
+            err,
+            CheckpointError::TooLarge {
+                what: "profile antennas",
+                len: 65_536,
+                max: 65_535,
+            }
+        ));
+        assert!(err.to_string().contains("profile antennas"));
+        assert_eq!(len_u32("packet windows", 7).unwrap(), 7);
+        assert!(matches!(
+            len_u32("packet windows", u32::MAX as usize + 1),
+            Err(CheckpointError::TooLarge { max, .. }) if max == u64::from(u32::MAX)
+        ));
+    }
+
+    #[test]
     fn encode_decode_roundtrip_is_exact() {
         let snap = snapshot();
-        let bytes = encode_snapshot(&snap);
+        let bytes = encode_snapshot(&snap).unwrap();
         let decoded = decode_snapshot(&bytes, &DetectorConfig::default()).unwrap();
         assert_eq!(decoded, snap);
     }
@@ -609,7 +672,7 @@ mod tests {
     #[test]
     fn bad_magic_and_version_are_typed() {
         let snap = snapshot();
-        let mut bytes = encode_snapshot(&snap).to_vec();
+        let mut bytes = encode_snapshot(&snap).unwrap().to_vec();
         let mut wrong_magic = bytes.clone();
         wrong_magic[0] = b'X';
         // Checksum catches the flip first (it covers the magic); fixing
@@ -634,7 +697,7 @@ mod tests {
     #[test]
     fn any_single_byte_corruption_is_a_checksum_mismatch() {
         let snap = snapshot();
-        let bytes = encode_snapshot(&snap).to_vec();
+        let bytes = encode_snapshot(&snap).unwrap().to_vec();
         // Probe a spread of positions including the trailer.
         let step = (bytes.len() / 37).max(1);
         for i in (0..bytes.len()).step_by(step) {
@@ -653,7 +716,7 @@ mod tests {
     #[test]
     fn truncation_is_detected() {
         let snap = snapshot();
-        let bytes = encode_snapshot(&snap);
+        let bytes = encode_snapshot(&snap).unwrap();
         for cut in [0usize, 10, 21, bytes.len() / 2, bytes.len() - 1] {
             let err = decode_snapshot(&bytes[..cut], &DetectorConfig::default()).unwrap_err();
             assert!(

@@ -55,7 +55,7 @@ proptest! {
     fn clean_roundtrip_restores_to_zero_ulp(seed in 0u64..1_000, steps in 0u64..4) {
         let (rt, mut rx) = runtime(seed, steps);
         let snap = rt.snapshot();
-        let bytes = encode_snapshot(&snap);
+        let bytes = encode_snapshot(&snap).unwrap();
         let config = DetectorConfig::default();
         let decoded = decode_snapshot(&bytes, &config).unwrap();
         prop_assert_eq!(&decoded, &snap);
@@ -85,7 +85,7 @@ proptest! {
         xor in 1u8..=255,
     ) {
         let (rt, _rx) = runtime(seed, 1);
-        let mut bytes = encode_snapshot(&rt.snapshot()).to_vec();
+        let mut bytes = encode_snapshot(&rt.snapshot()).unwrap().to_vec();
         let idx = pos % bytes.len();
         bytes[idx] ^= xor;
         let err = decode_snapshot(&bytes, &DetectorConfig::default()).unwrap_err();

@@ -6,6 +6,9 @@
 //! downstream (multipath factor, weights, MUSIC snapshots) is computed on
 //! this grid.
 
+use std::error::Error;
+use std::fmt;
+
 use serde::{Deserialize, Serialize};
 
 /// Number of subcarriers the Intel 5300 CSI tool reports per antenna pair.
@@ -32,6 +35,42 @@ pub fn channel_center_hz(channel: u8) -> f64 {
         2.407e9 + channel as f64 * 5e6
     }
 }
+
+/// Typed rejection for band parameters arriving from untrusted input
+/// (wire headers, config files) — the panicking [`Band::new`] stays for
+/// trusted in-process callers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BandError {
+    /// Centre frequency is NaN, infinite, or not strictly positive.
+    BadCenter(f64),
+    /// No subcarrier indices were given.
+    EmptyIndices,
+    /// Indices are not strictly increasing (duplicate or out of order
+    /// at slot `at`).
+    UnsortedIndices {
+        /// Slot where monotonicity breaks (`indices[at] >= indices[at+1]`).
+        at: usize,
+    },
+}
+
+impl fmt::Display for BandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BandError::BadCenter(hz) => {
+                write!(f, "centre frequency {hz} Hz is not finite and positive")
+            }
+            BandError::EmptyIndices => write!(f, "at least one subcarrier index is required"),
+            BandError::UnsortedIndices { at } => {
+                write!(
+                    f,
+                    "subcarrier indices must be strictly increasing (slot {at})"
+                )
+            }
+        }
+    }
+}
+
+impl Error for BandError {}
 
 /// A WiFi band configuration: centre frequency plus the reported
 /// subcarrier grid.
@@ -63,6 +102,26 @@ impl Band {
         Band { center_hz, indices }
     }
 
+    /// Validating constructor for untrusted inputs: the centre frequency
+    /// must be finite and positive and the index set non-empty and
+    /// strictly increasing (slot order is a layout invariant everything
+    /// downstream — μ_k, weights, MUSIC snapshots — relies on).
+    ///
+    /// # Errors
+    /// Returns the first [`BandError`] violated; never panics.
+    pub fn try_with_indices(center_hz: f64, indices: Vec<i32>) -> Result<Self, BandError> {
+        if !center_hz.is_finite() || center_hz <= 0.0 {
+            return Err(BandError::BadCenter(center_hz));
+        }
+        if indices.is_empty() {
+            return Err(BandError::EmptyIndices);
+        }
+        if let Some(at) = indices.windows(2).position(|w| w[1] <= w[0]) {
+            return Err(BandError::UnsortedIndices { at });
+        }
+        Ok(Band { center_hz, indices })
+    }
+
     /// Centre frequency in Hz.
     pub fn center_hz(&self) -> f64 {
         self.center_hz
@@ -87,6 +146,15 @@ impl Band {
         self.center_hz + self.indices[k] as f64 * SUBCARRIER_SPACING_HZ
     }
 
+    /// Checked sibling of [`Band::subcarrier_hz`] for slot indices that
+    /// came from untrusted input: `None` instead of a panic when `k` is
+    /// out of range.
+    pub fn get_subcarrier_hz(&self, k: usize) -> Option<f64> {
+        self.indices
+            .get(k)
+            .map(|&idx| self.center_hz + idx as f64 * SUBCARRIER_SPACING_HZ)
+    }
+
     /// All subcarrier frequencies in slot order.
     pub fn frequencies(&self) -> Vec<f64> {
         (0..self.indices.len())
@@ -99,12 +167,17 @@ impl Band {
         mpdf_propagation::pathloss::PathLossModel::wavelength(self.center_hz)
     }
 
-    /// Occupied bandwidth between the lowest and highest reported
-    /// subcarrier (Hz).
+    /// Occupied bandwidth of the reported grid (Hz): the lowest-to-
+    /// highest subcarrier span for two or more indices, one subcarrier
+    /// spacing for a singleton (a lone subcarrier still occupies its
+    /// 312.5 kHz slot, not zero bandwidth), and `0.0` only for a
+    /// genuinely empty index set.
     pub fn span_hz(&self) -> f64 {
-        let lo = self.indices.iter().min().copied().unwrap_or(0);
-        let hi = self.indices.iter().max().copied().unwrap_or(0);
-        (hi - lo) as f64 * SUBCARRIER_SPACING_HZ
+        match (self.indices.iter().min(), self.indices.iter().max()) {
+            (Some(&lo), Some(&hi)) if hi > lo => (hi - lo) as f64 * SUBCARRIER_SPACING_HZ,
+            (Some(_), Some(_)) => SUBCARRIER_SPACING_HZ,
+            _ => 0.0,
+        }
     }
 }
 
@@ -174,5 +247,50 @@ mod tests {
     #[should_panic(expected = "at least one subcarrier")]
     fn empty_band_panics() {
         let _ = Band::new(2.4e9, vec![]);
+    }
+
+    #[test]
+    fn try_with_indices_validates_untrusted_input() {
+        assert!(Band::try_with_indices(2.462e9, vec![-1, 1, 3]).is_ok());
+        assert!(matches!(
+            Band::try_with_indices(f64::NAN, vec![1]),
+            Err(BandError::BadCenter(hz)) if hz.is_nan()
+        ));
+        assert!(matches!(
+            Band::try_with_indices(-2.4e9, vec![1]),
+            Err(BandError::BadCenter(_))
+        ));
+        assert_eq!(
+            Band::try_with_indices(2.4e9, vec![]),
+            Err(BandError::EmptyIndices)
+        );
+        assert_eq!(
+            Band::try_with_indices(2.4e9, vec![-2, 3, 3, 5]),
+            Err(BandError::UnsortedIndices { at: 1 })
+        );
+        assert_eq!(
+            Band::try_with_indices(2.4e9, vec![5, -2]),
+            Err(BandError::UnsortedIndices { at: 0 })
+        );
+    }
+
+    #[test]
+    fn get_subcarrier_hz_is_total() {
+        let band = Band::wifi_2_4ghz_channel11();
+        assert_eq!(band.get_subcarrier_hz(0), Some(band.subcarrier_hz(0)));
+        assert_eq!(band.get_subcarrier_hz(29), Some(band.subcarrier_hz(29)));
+        assert_eq!(band.get_subcarrier_hz(30), None);
+        assert_eq!(band.get_subcarrier_hz(usize::MAX), None);
+    }
+
+    #[test]
+    fn span_hz_handles_degenerate_grids() {
+        // Singleton: one subcarrier still occupies its slot.
+        let single = Band::new(2.4e9, vec![7]);
+        assert_eq!(single.span_hz(), SUBCARRIER_SPACING_HZ);
+        // n ≥ 2 is unchanged by the fix.
+        let pair = Band::new(2.4e9, vec![-3, 5]);
+        assert_eq!(pair.span_hz(), 8.0 * SUBCARRIER_SPACING_HZ);
+        assert!((Band::wifi_2_4ghz_channel11().span_hz() - 17.5e6).abs() < 1.0);
     }
 }

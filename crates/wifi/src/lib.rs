@@ -14,6 +14,8 @@
 //! - [`sanitize`] — linear-phase calibration (the paper's \[26\]).
 //! - [`receiver`] — the 50 pkt/s campaign driver, fully seeded.
 //! - [`trace`] — versioned binary capture files for record/replay.
+//! - [`wire`] — the streaming wire codec: zero-copy frame decoding with
+//!   typed errors and resync, for untrusted socket-shaped byte streams.
 //!
 //! ```
 //! use mpdf_geom::shapes::Rect;
@@ -44,11 +46,13 @@ pub mod quarantine;
 pub mod receiver;
 pub mod sanitize;
 pub mod trace;
+pub mod wire;
 
 pub use array::UniformLinearArray;
-pub use band::{Band, INTEL5300_SUBCARRIER_INDICES, NUM_SUBCARRIERS};
+pub use band::{Band, BandError, INTEL5300_SUBCARRIER_INDICES, NUM_SUBCARRIERS};
 pub use csi::CsiPacket;
 pub use fault::FaultModel;
 pub use impairments::ImpairmentModel;
 pub use quarantine::{PacketClass, Quarantine, QuarantinePolicy, RejectReason};
 pub use receiver::{Actor, CsiReceiver, ReceiverConfig};
+pub use wire::{FrameSplitter, WireError, WireRecord};

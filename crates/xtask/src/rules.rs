@@ -12,8 +12,11 @@ use crate::lexer::{SourceFile, Token, TokenKind};
 use crate::report::{Rule, Violation};
 use crate::stream::{after_call, is_method_call, matching_close};
 
-/// Crates whose `as` casts are held to the `lossy-cast` rule.
-pub const KERNEL_CRATES: &[&str] = &["rfmath", "music", "propagation"];
+/// Crates whose `as` casts are held to the `lossy-cast` rule: the
+/// numeric kernels, plus `session` — its checkpoint codec packs
+/// collection lengths into fixed-width fields, where a silent `as`
+/// truncation writes a decodable-but-wrong file.
+pub const KERNEL_CRATES: &[&str] = &["rfmath", "music", "propagation", "session"];
 
 /// How a file is classified before rules run.
 #[derive(Debug, Clone, Copy)]

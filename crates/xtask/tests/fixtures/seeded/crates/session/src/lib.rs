@@ -1,7 +1,7 @@
 //! Fixture session crate: proves the lint walker covers the supervised
-//! session layer — one planted `no-panic` violation (a checkpoint
-//! header `expect`) and one annotated escape hatch that must stay
-//! quiet.
+//! session layer — planted `no-panic` (checkpoint header `expect`) and
+//! `lossy-cast` (length-field narrowing; session is a kernel crate for
+//! cast purposes) violations, plus escape hatches that must stay quiet.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -17,4 +17,15 @@ pub fn restore_cursor_checked(bytes: &[u8]) -> u64 {
     // lint: allow(no-panic) — fixture: length pre-validated by the store
     let head: [u8; 8] = bytes[..8].try_into().expect("checkpoint header");
     u64::from_le_bytes(head)
+}
+
+/// Truncates a window count into the checkpoint's u32 length field.
+pub fn window_count_field(windows: usize) -> u32 {
+    windows as u32
+}
+
+/// The same narrowing behind a vetted escape hatch.
+pub fn window_count_field_checked(windows: usize) -> u32 {
+    // lint: allow(lossy-cast) — fixture: count pre-validated ≤ u32::MAX
+    windows as u32
 }
