@@ -20,6 +20,7 @@ use mpdf_core::scheme::{
     Baseline, DetectionScheme, SubcarrierAndPathWeighting, SubcarrierWeighting,
 };
 use mpdf_core::subcarrier_weight::SubcarrierWeights;
+use mpdf_fleet::{Fleet, FleetPolicy, LinkWindow};
 use mpdf_music::covariance::sample_covariance;
 use mpdf_music::music::{pseudospectrum, AngleGrid, UlaSteering};
 use mpdf_propagation::human::HumanBody;
@@ -28,7 +29,9 @@ use mpdf_rfmath::complex::Complex64;
 use mpdf_rfmath::dft::{dft, nudft_at_delay};
 use mpdf_rfmath::eig::hermitian_eig;
 use mpdf_rfmath::matrix::CMatrix;
+use mpdf_session::runtime::{SessionConfig, SessionRuntime};
 use mpdf_wifi::band::Band;
+use mpdf_wifi::receiver::CsiReceiver;
 use mpdf_wifi::sanitize::sanitize_packet;
 use mpdf_wifi::wire;
 
@@ -170,6 +173,44 @@ fn bench_wire(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_fleet(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fleet");
+    // One supervisor tick over a thousand calibrated links across eight
+    // shards — the fleet-scale hot path (route → shed → step → fuse).
+    // A single calibration is cloned per link; a one-window rollback
+    // reservoir keeps the clone cost in memory, not in the timed loop.
+    let mut rx = CsiReceiver::new(bench_link(), 4321).expect("receiver");
+    let calibration = rx.capture_static(None, 150).expect("capture");
+    let runtime = SessionRuntime::calibrate(
+        &calibration,
+        SubcarrierWeighting,
+        mpdf_core::profile::DetectorConfig::default(),
+        SessionConfig {
+            reservoir_windows: 1,
+            ..SessionConfig::default()
+        },
+    )
+    .expect("calibrate");
+    let mut fleet = Fleet::in_memory(8, FleetPolicy::default(), 1).expect("fleet");
+    for link in 0..1000u64 {
+        fleet
+            .register(link, (link % 8) as u32, runtime.clone())
+            .expect("register");
+    }
+    let window = rx.capture_static(None, 25).expect("capture");
+    let windows: Vec<LinkWindow> = (0..1000u64)
+        .map(|link| LinkWindow {
+            link,
+            packets: window.clone(),
+        })
+        .collect();
+    g.sample_size(10);
+    g.bench_function("step_1k_links", |b| {
+        b.iter(|| black_box(fleet.step_tick(black_box(&windows)).expect("step")));
+    });
+    g.finish();
+}
+
 fn bench_obs(c: &mut Criterion) {
     let mut g = c.benchmark_group("obs");
     // Default state — tracing and timing both off. This is the tax every
@@ -286,6 +327,7 @@ criterion_group!(
     bench_physics,
     bench_detection,
     bench_wire,
+    bench_fleet,
     bench_obs,
     bench_xtask
 );

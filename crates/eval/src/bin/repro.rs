@@ -51,6 +51,11 @@ experiments:
                      and bounded-queue ingest path at max speed, verifying
                      stream-path scores bit-identical to the offline pass
                      (runs alone, not part of `all`)
+  fleet              run many links under the sharded fleet supervisor:
+                     fault containment, overload shedding, room fusion;
+                     with --chaos, crash-recoverable shard logs under
+                     seeded IO faults and shard kills, asserting recovery
+                     equivalence (runs alone, not part of `all`)
 
 options:
   --snr <db>         per-subcarrier SNR in dB
@@ -87,6 +92,13 @@ options:
                      resumed from its window cursor, bit-identically
   --kill-after <n>   exit after processing n windows of this session run,
                      leaving the checkpoint behind for a later resume
+  --links <n>        fleet mode: number of links (default 24)
+  --ticks <n>        fleet mode: number of ticks (default 12)
+  --fleet-shards <n> fleet mode: number of shards (default 4)
+  --fleet-dir <p>    fleet mode: shard-log directory for --chaos (default:
+                     a temp directory, removed afterwards)
+  --chaos            fleet mode: inject seeded shard kills and log IO
+                     faults, asserting bit-identical recovery
   --help             print this message
 
 observability flags only add artifacts: stdout and --csvdir output stay
@@ -104,6 +116,7 @@ struct Options {
     experiments: Vec<String>,
     session: Option<mpdf_eval::session::SessionDemoOptions>,
     stream: mpdf_eval::stream::StreamOptions,
+    fleet: mpdf_eval::fleet::FleetDemoOptions,
     help: bool,
 }
 
@@ -137,6 +150,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut session = false;
     let mut session_opts = mpdf_eval::session::SessionDemoOptions::default();
     let mut stream_opts = mpdf_eval::stream::StreamOptions::default();
+    let mut fleet_opts = mpdf_eval::fleet::FleetDemoOptions::default();
+    let mut fleet_flags = false;
     let mut help = false;
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
@@ -148,9 +163,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             help = true;
             continue;
         }
-        // `--session` is the one boolean flag besides `--help`.
+        // `--session` and `--chaos` are the boolean flags besides
+        // `--help`.
         if flag == "session" {
             session = true;
+            continue;
+        }
+        if flag == "chaos" {
+            fleet_opts.chaos = true;
+            fleet_flags = true;
             continue;
         }
         let value = iter
@@ -201,11 +222,42 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "kill-after" => {
                 session_opts.kill_after = Some(parse_num(flag, value, "a non-negative integer")?);
             }
+            "links" => {
+                fleet_opts.links = parse_num(flag, value, "a positive integer")?;
+                if fleet_opts.links == 0 {
+                    return Err("bad value `0` for --links: must be at least 1".to_string());
+                }
+                fleet_flags = true;
+            }
+            "ticks" => {
+                fleet_opts.ticks = parse_num(flag, value, "a positive integer")?;
+                if fleet_opts.ticks == 0 {
+                    return Err("bad value `0` for --ticks: must be at least 1".to_string());
+                }
+                fleet_flags = true;
+            }
+            "fleet-shards" => {
+                fleet_opts.shards = parse_num(flag, value, "a positive integer")?;
+                if fleet_opts.shards == 0 {
+                    return Err("bad value `0` for --fleet-shards: must be at least 1".to_string());
+                }
+                fleet_flags = true;
+            }
+            "fleet-dir" => {
+                fleet_opts.dir = Some(std::path::PathBuf::from(value));
+                fleet_flags = true;
+            }
             other => return Err(format!("unknown option --{other}")),
         }
     }
     if !session && (session_opts.checkpoint.is_some() || session_opts.kill_after.is_some()) {
         return Err("--checkpoint/--kill-after require --session".to_string());
+    }
+    if fleet_flags && !experiments.iter().any(|e| e == "fleet") {
+        return Err(
+            "--links/--ticks/--fleet-shards/--fleet-dir/--chaos require the `fleet` experiment"
+                .to_string(),
+        );
     }
     if experiments.is_empty() {
         experiments.push("fig7".to_string());
@@ -222,6 +274,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         experiments,
         session: session.then_some(session_opts),
         stream: stream_opts,
+        fleet: fleet_opts,
         help,
     })
 }
@@ -537,6 +590,36 @@ fn main() {
         if failed {
             eprintln!("error: stream-path scores diverge from the offline path");
         }
+        if flush_observability(&opts) > 0 {
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    // Fleet mode likewise replaces the experiment fan-out: many links
+    // under the sharded supervisor, optionally with the chaos harness.
+    // Kept out of `all` so `repro all` output is unchanged.
+    if opts.experiments.iter().any(|e| e == "fleet") {
+        if opts.experiments.len() != 1 {
+            eprintln!("error: `fleet` runs alone, not alongside other experiments");
+            std::process::exit(2);
+        }
+        if opts.metrics.is_some() {
+            mpdf_obs::metrics::enable_timing();
+        }
+        let started = std::time::Instant::now();
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        let result = mpdf_eval::fleet::run_fleet_demo(&opts.cfg, &opts.fleet, &mut out);
+        drop(out);
+        let mut failed = result.is_err();
+        if let Err(e) = &result {
+            eprintln!("error: fleet: {e}");
+        }
+        eprintln!("[fleet done in {:.1}s]\n", started.elapsed().as_secs_f64());
         if flush_observability(&opts) > 0 {
             failed = true;
         }

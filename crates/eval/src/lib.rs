@@ -8,6 +8,7 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod fleet;
 pub mod metrics;
 pub mod report;
 pub mod scenario;

@@ -1,0 +1,231 @@
+//! Per-link fault taxonomy, health state machine and log metadata.
+//!
+//! Fault containment is per link: a fault moves exactly one link through
+//! the health machine and never touches its shard. The machine is
+//!
+//! ```text
+//! Healthy --fault--> Quarantined{until, strikes}
+//! Quarantined (tick < until)  : deliveries are skipped (no event)
+//! Quarantined (tick >= until) : next delivery is a probe
+//!     probe Ok    --> Healthy            (release)
+//!     probe fault --> Quarantined        (strikes+1, longer backoff)
+//!     strikes > max_strikes --> Dead     (terminal; slot evictable)
+//! ```
+//!
+//! Backoff is exponential in the strike count and deterministic in tick
+//! units — no wall clock anywhere, so a replayed fleet walks the exact
+//! same transitions.
+
+use std::fmt;
+
+/// Typed triage for a link fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkFault {
+    /// The session step returned a hard pipeline error.
+    Step(String),
+    /// A delivered window's packets do not match the link's calibrated
+    /// `(antennas, subcarriers)` shape — rejected before they can reach
+    /// (and poison) the runtime.
+    Shape {
+        /// Shape of the offending packet.
+        got: (usize, usize),
+        /// Shape the link was calibrated with.
+        want: (usize, usize),
+    },
+    /// The fleet watchdog tripped: too many consecutive abstained
+    /// windows.
+    Watchdog {
+        /// Length of the abstain streak that tripped the watchdog.
+        streak: u32,
+    },
+}
+
+impl fmt::Display for LinkFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkFault::Step(e) => write!(f, "step error: {e}"),
+            LinkFault::Shape { got, want } => write!(
+                f,
+                "window shape {}x{} does not match calibration {}x{}",
+                got.0, got.1, want.0, want.1
+            ),
+            LinkFault::Watchdog { streak } => {
+                write!(f, "watchdog: {streak} consecutive abstains")
+            }
+        }
+    }
+}
+
+/// A link's position in the fault-containment state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkHealth {
+    /// Deliveries flow normally.
+    Healthy,
+    /// Deliveries are skipped until `until_tick`; the first delivery at
+    /// or after it is a probe.
+    Quarantined {
+        /// First tick at which a probe delivery is allowed.
+        until_tick: u64,
+        /// Faults accumulated without an intervening release.
+        strikes: u32,
+    },
+    /// Terminal: the link exceeded its strike budget.
+    Dead {
+        /// Strike count at death.
+        strikes: u32,
+    },
+}
+
+impl LinkHealth {
+    fn tag(self) -> u8 {
+        match self {
+            LinkHealth::Healthy => 0,
+            LinkHealth::Quarantined { .. } => 1,
+            LinkHealth::Dead { .. } => 2,
+        }
+    }
+
+    fn strikes(self) -> u32 {
+        match self {
+            LinkHealth::Healthy => 0,
+            LinkHealth::Quarantined { strikes, .. } | LinkHealth::Dead { strikes } => strikes,
+        }
+    }
+
+    fn until(self) -> u64 {
+        match self {
+            LinkHealth::Quarantined { until_tick, .. } => until_tick,
+            LinkHealth::Healthy | LinkHealth::Dead { .. } => 0,
+        }
+    }
+}
+
+/// Fleet-level per-link state, checkpointed alongside the session
+/// snapshot in every shard-log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkMeta {
+    /// Room this link contributes its verdicts to.
+    pub room: u32,
+    /// Health-machine position.
+    pub health: LinkHealth,
+    /// Consecutive abstained windows (fleet watchdog input).
+    pub abstain_streak: u32,
+    /// Count of state-mutating events (delivered windows) this link has
+    /// processed. The recovery ledger replays deliveries past this
+    /// count, which is exactly what makes a crashed fleet converge to
+    /// the uninterrupted run.
+    pub events: u64,
+}
+
+impl LinkMeta {
+    /// Fresh metadata for a just-registered link.
+    pub fn new(room: u32) -> Self {
+        LinkMeta {
+            room,
+            health: LinkHealth::Healthy,
+            abstain_streak: 0,
+            events: 0,
+        }
+    }
+
+    /// Encoded size in bytes (fixed).
+    pub const ENCODED_LEN: usize = 4 + 1 + 4 + 8 + 4 + 8;
+
+    /// Appends the little-endian encoding to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.room.to_le_bytes());
+        out.push(self.health.tag());
+        out.extend_from_slice(&self.health.strikes().to_le_bytes());
+        out.extend_from_slice(&self.health.until().to_le_bytes());
+        out.extend_from_slice(&self.abstain_streak.to_le_bytes());
+        out.extend_from_slice(&self.events.to_le_bytes());
+    }
+
+    /// Decodes a meta prefix, returning it and the remaining bytes (the
+    /// session snapshot image). `None` on truncation or an unknown
+    /// health tag.
+    pub fn decode(data: &[u8]) -> Option<(LinkMeta, &[u8])> {
+        if data.len() < Self::ENCODED_LEN {
+            return None;
+        }
+        let room = u32::from_le_bytes(data[0..4].try_into().ok()?);
+        let tag = data[4];
+        let strikes = u32::from_le_bytes(data[5..9].try_into().ok()?);
+        let until_tick = u64::from_le_bytes(data[9..17].try_into().ok()?);
+        let abstain_streak = u32::from_le_bytes(data[17..21].try_into().ok()?);
+        let events = u64::from_le_bytes(data[21..29].try_into().ok()?);
+        let health = match tag {
+            0 => LinkHealth::Healthy,
+            1 => LinkHealth::Quarantined {
+                until_tick,
+                strikes,
+            },
+            2 => LinkHealth::Dead { strikes },
+            _ => return None,
+        };
+        Some((
+            LinkMeta {
+                room,
+                health,
+                abstain_streak,
+                events,
+            },
+            &data[Self::ENCODED_LEN..],
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meta_roundtrips_through_every_health_state() {
+        for health in [
+            LinkHealth::Healthy,
+            LinkHealth::Quarantined {
+                until_tick: 99,
+                strikes: 2,
+            },
+            LinkHealth::Dead { strikes: 4 },
+        ] {
+            let meta = LinkMeta {
+                room: 7,
+                health,
+                abstain_streak: 3,
+                events: 1234,
+            };
+            let mut buf = Vec::new();
+            meta.encode(&mut buf);
+            assert_eq!(buf.len(), LinkMeta::ENCODED_LEN);
+            // Trailing bytes (the snapshot image) are handed back.
+            buf.extend_from_slice(b"snapshot");
+            let (decoded, rest) = LinkMeta::decode(&buf).expect("decodes");
+            assert_eq!(decoded, meta);
+            assert_eq!(rest, b"snapshot");
+        }
+    }
+
+    #[test]
+    fn truncated_or_unknown_tag_is_rejected() {
+        let meta = LinkMeta::new(1);
+        let mut buf = Vec::new();
+        meta.encode(&mut buf);
+        for cut in 0..buf.len() {
+            assert!(LinkMeta::decode(&buf[..cut]).is_none(), "cut {cut}");
+        }
+        buf[4] = 9;
+        assert!(LinkMeta::decode(&buf).is_none(), "unknown health tag");
+    }
+
+    #[test]
+    fn faults_display_their_triage() {
+        assert!(LinkFault::Step("boom".into()).to_string().contains("boom"));
+        let shape = LinkFault::Shape {
+            got: (2, 30),
+            want: (3, 30),
+        };
+        assert!(shape.to_string().contains("2x30"));
+        assert!(LinkFault::Watchdog { streak: 6 }.to_string().contains('6'));
+    }
+}

@@ -1,0 +1,657 @@
+//! Append-only, CRC-framed, generation-numbered shard checkpoint logs.
+//!
+//! One log per shard multiplexes the snapshots of every session the
+//! shard runs — at fleet scale this replaces file-per-session
+//! checkpointing (thousands of tiny files and fsyncs) with one
+//! sequentially-appended file per failure domain.
+//!
+//! ## On-disk layout (all little-endian)
+//!
+//! ```text
+//! header   magic    b"MPSL"        4 bytes
+//!          version  u16            2
+//!          shard    u32            4
+//! record   sync     b"RC"          2
+//!          gen      u64            8   (log-wide generation number)
+//!          link     u64            8
+//!          len      u32            4   (payload byte count)
+//!          payload  [len bytes]        (LinkMeta ‖ session snapshot)
+//!          crc      u64            8   CRC-64/ECMA over gen..payload
+//! ```
+//!
+//! Recovery scans records in file order, keeping the **latest image per
+//! link**; the first frame that fails its sync marker, length bound or
+//! CRC ends the scan and everything from there on is truncated as a
+//! torn tail (a crash mid-append can only damage the suffix). If the
+//! header itself is damaged the previous-good `.bak` rotation — written
+//! by compaction — is recovered instead. Generation numbers strictly
+//! increase across appends, so the newest surviving record per link is
+//! unambiguous even after compaction rewrites.
+//!
+//! All IO flows through the [`LogIo`] trait: production uses [`StdIo`]
+//! (real files, full fsync discipline), the chaos harness swaps in
+//! [`crate::chaos::FaultIo`] to inject seeded torn writes and transient
+//! errors without touching this module's logic.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+/// Shard-log file magic.
+pub const LOG_MAGIC: &[u8; 4] = b"MPSL";
+/// Current shard-log format version.
+pub const LOG_VERSION: u16 = 1;
+/// Byte length of the file header.
+pub const HEADER_LEN: usize = 10;
+/// Per-record framing overhead (sync + gen + link + len + crc).
+pub const RECORD_OVERHEAD: usize = 2 + 8 + 8 + 4 + 8;
+/// Largest admissible record payload; larger lengths in a frame are
+/// treated as corruption, not allocation requests.
+pub const MAX_RECORD_PAYLOAD: usize = 1 << 28;
+
+const RECORD_SYNC: &[u8; 2] = b"RC";
+const IO_ATTEMPTS: u32 = 4;
+
+/// Errors produced by shard-log operations.
+#[derive(Debug)]
+pub enum LogError {
+    /// Underlying IO failure (after the transient-retry budget).
+    Io(std::io::Error),
+    /// The file header is missing or malformed.
+    BadHeader(String),
+    /// The header's version field is unsupported.
+    UnsupportedVersion(u16),
+    /// The log belongs to a different shard.
+    ShardMismatch {
+        /// Shard id this log was opened for.
+        expected: u32,
+        /// Shard id stored in the file header.
+        found: u32,
+    },
+    /// Append-side: a payload exceeds [`MAX_RECORD_PAYLOAD`].
+    TooLarge {
+        /// Offending payload length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for LogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogError::Io(e) => write!(f, "shard log i/o error: {e}"),
+            LogError::BadHeader(what) => write!(f, "bad shard log header: {what}"),
+            LogError::UnsupportedVersion(v) => write!(f, "unsupported shard log version {v}"),
+            LogError::ShardMismatch { expected, found } => {
+                write!(f, "shard log is for shard {found}, expected {expected}")
+            }
+            LogError::TooLarge { len } => write!(
+                f,
+                "record payload of {len} bytes exceeds the {MAX_RECORD_PAYLOAD} byte cap"
+            ),
+        }
+    }
+}
+
+impl Error for LogError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LogError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for LogError {
+    fn from(e: std::io::Error) -> Self {
+        LogError::Io(e)
+    }
+}
+
+/// CRC-64 over the ECMA-182 polynomial (`0x42F0E1EBA9EA3693`),
+/// MSB-first, with all-ones init and xorout (the CRC-64/WE profile) so
+/// leading-zero damage and the empty input are distinguishable.
+pub fn crc64(data: &[u8]) -> u64 {
+    static TABLE: OnceLock<[u64; 256]> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u64; 256];
+        let mut i = 0usize;
+        while i < 256 {
+            let mut crc = (i as u64) << 56;
+            let mut b = 0;
+            while b < 8 {
+                crc = if crc & (1 << 63) != 0 {
+                    (crc << 1) ^ 0x42F0_E1EB_A9EA_3693
+                } else {
+                    crc << 1
+                };
+                b += 1;
+            }
+            t[i] = crc;
+            i += 1;
+        }
+        t
+    });
+    let mut crc = !0u64;
+    for &byte in data {
+        let idx = ((crc >> 56) ^ u64::from(byte)) as usize & 0xFF;
+        crc = (crc << 8) ^ table[idx];
+    }
+    !crc
+}
+
+/// The filesystem surface a shard log needs. Production uses [`StdIo`];
+/// the chaos harness wraps any `LogIo` in a fault-injecting shim.
+pub trait LogIo {
+    /// Reads the whole file.
+    fn read(&mut self, path: &Path) -> std::io::Result<Vec<u8>>;
+    /// Durably appends `bytes` (write + fsync).
+    fn append(&mut self, path: &Path, bytes: &[u8]) -> std::io::Result<()>;
+    /// Durably replaces the file's contents atomically (staged write,
+    /// fsync, rename, directory fsync).
+    fn replace(&mut self, path: &Path, bytes: &[u8]) -> std::io::Result<()>;
+    /// Renames a file, fsyncing the parent directory.
+    fn rename(&mut self, from: &Path, to: &Path) -> std::io::Result<()>;
+    /// Whether the file exists.
+    fn exists(&mut self, path: &Path) -> bool;
+}
+
+fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    std::fs::File::open(parent)?.sync_all()
+}
+
+/// Real-filesystem [`LogIo`] with full durability discipline.
+#[derive(Debug, Default, Clone)]
+pub struct StdIo;
+
+impl LogIo for StdIo {
+    fn read(&mut self, path: &Path) -> std::io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn append(&mut self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        f.write_all(bytes)?;
+        f.sync_all()
+    }
+
+    fn replace(&mut self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+        let mut staged = path.as_os_str().to_os_string();
+        staged.push(".staged");
+        let staged = PathBuf::from(staged);
+        let mut f = std::fs::File::create(&staged)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&staged, path)?;
+        sync_parent_dir(path)
+    }
+
+    fn rename(&mut self, from: &Path, to: &Path) -> std::io::Result<()> {
+        std::fs::rename(from, to)?;
+        sync_parent_dir(to)
+    }
+
+    fn exists(&mut self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+fn transient(kind: std::io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        std::io::ErrorKind::Interrupted | std::io::ErrorKind::WouldBlock
+    )
+}
+
+/// Bounded deterministic retry on transient IO errors, mirroring the
+/// session checkpoint store. Counted on `fleet.log.io_retries_total`.
+fn retry_io<T, F: FnMut() -> std::io::Result<T>>(mut op: F) -> std::io::Result<T> {
+    let mut attempt = 1;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if transient(e.kind()) && attempt < IO_ATTEMPTS => {
+                mpdf_obs::counter!("fleet.log.io_retries_total").inc();
+                for _ in 0..attempt {
+                    std::thread::yield_now();
+                }
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// What a [`ShardLog::open`]/[`ShardLog::recover`] pass found on disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogRecovery {
+    /// Valid records scanned (pre-dedup, file order).
+    pub records: usize,
+    /// Bytes truncated off a torn tail (0 for a clean log).
+    pub torn_bytes: usize,
+    /// Whether the primary was unusable and the `.bak` rotation was
+    /// recovered instead.
+    pub used_bak: bool,
+}
+
+struct Scan {
+    live: BTreeMap<u64, (u64, Vec<u8>)>,
+    next_gen: u64,
+    records: usize,
+    torn_bytes: usize,
+}
+
+fn header_bytes(shard: u32) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(HEADER_LEN);
+    bytes.extend_from_slice(LOG_MAGIC);
+    bytes.extend_from_slice(&LOG_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&shard.to_le_bytes());
+    bytes
+}
+
+fn frame_record(out: &mut Vec<u8>, gen: u64, link: u64, payload: &[u8]) {
+    let start = out.len();
+    out.extend_from_slice(RECORD_SYNC);
+    out.extend_from_slice(&gen.to_le_bytes());
+    out.extend_from_slice(&link.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    let crc = crc64(&out[start + 2..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+}
+
+fn read_u64(data: &[u8]) -> u64 {
+    let mut bytes = [0u8; 8];
+    bytes.copy_from_slice(&data[..8]);
+    u64::from_le_bytes(bytes)
+}
+
+fn scan(data: &[u8], shard: u32) -> Result<Scan, LogError> {
+    if data.len() < HEADER_LEN {
+        return Err(LogError::BadHeader(format!(
+            "{} bytes is shorter than the {HEADER_LEN} byte header",
+            data.len()
+        )));
+    }
+    if &data[..4] != LOG_MAGIC {
+        return Err(LogError::BadHeader("wrong magic".to_string()));
+    }
+    let version = u16::from_le_bytes([data[4], data[5]]);
+    if version != LOG_VERSION {
+        return Err(LogError::UnsupportedVersion(version));
+    }
+    let found = u32::from_le_bytes([data[6], data[7], data[8], data[9]]);
+    if found != shard {
+        return Err(LogError::ShardMismatch {
+            expected: shard,
+            found,
+        });
+    }
+    let mut live = BTreeMap::new();
+    let mut next_gen = 1u64;
+    let mut records = 0usize;
+    let mut off = HEADER_LEN;
+    loop {
+        if off == data.len() {
+            break;
+        }
+        let rest = &data[off..];
+        if rest.len() < RECORD_OVERHEAD || &rest[..2] != RECORD_SYNC {
+            break;
+        }
+        let gen = read_u64(&rest[2..]);
+        let link = read_u64(&rest[10..]);
+        let len = u32::from_le_bytes([rest[18], rest[19], rest[20], rest[21]]) as usize;
+        if len > MAX_RECORD_PAYLOAD || rest.len() < RECORD_OVERHEAD + len {
+            break;
+        }
+        let payload_end = 22 + len;
+        let stored = read_u64(&rest[payload_end..]);
+        let computed = crc64(&rest[2..payload_end]);
+        if stored != computed {
+            break;
+        }
+        live.insert(link, (gen, rest[22..payload_end].to_vec()));
+        next_gen = next_gen.max(gen.saturating_add(1));
+        records += 1;
+        off += RECORD_OVERHEAD + len;
+    }
+    Ok(Scan {
+        live,
+        next_gen,
+        records,
+        torn_bytes: data.len() - off,
+    })
+}
+
+/// A crash-recoverable per-shard checkpoint log.
+#[derive(Debug)]
+pub struct ShardLog<IO: LogIo> {
+    io: IO,
+    path: PathBuf,
+    bak: PathBuf,
+    shard: u32,
+    next_gen: u64,
+    live: BTreeMap<u64, (u64, Vec<u8>)>,
+    compact_every: usize,
+    appends_since_compact: usize,
+}
+
+fn sibling(path: &Path, suffix: &str) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(suffix);
+    PathBuf::from(name)
+}
+
+impl<IO: LogIo> ShardLog<IO> {
+    /// Opens (or creates) the shard log at `path`, recovering whatever
+    /// state survives on disk. `compact_every` bounds log growth: after
+    /// that many appends the log is rewritten to one latest record per
+    /// link (`0` disables compaction).
+    ///
+    /// # Errors
+    /// IO failures, or typed corruption errors when neither the primary
+    /// nor the `.bak` rotation has a readable header.
+    pub fn open(
+        io: IO,
+        path: impl Into<PathBuf>,
+        shard: u32,
+        compact_every: usize,
+    ) -> Result<(Self, LogRecovery), LogError> {
+        let path = path.into();
+        let bak = sibling(&path, ".bak");
+        let mut log = ShardLog {
+            io,
+            path,
+            bak,
+            shard,
+            next_gen: 1,
+            live: BTreeMap::new(),
+            compact_every,
+            appends_since_compact: 0,
+        };
+        let recovery = log.recover()?;
+        Ok((log, recovery))
+    }
+
+    /// The primary log path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Latest surviving payload per link, in link order.
+    pub fn live(&self) -> impl Iterator<Item = (u64, &[u8])> {
+        self.live.iter().map(|(&link, (_, p))| (link, p.as_slice()))
+    }
+
+    /// Number of links with a live record.
+    pub fn live_links(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Re-reads the on-disk state, discarding the in-memory image — the
+    /// moral equivalent of a process restart. Torn tails are truncated
+    /// (counted on `fleet.log.torn_tails_total`); an unreadable primary
+    /// falls back to the `.bak` rotation (`fleet.log.bak_fallbacks_total`).
+    ///
+    /// # Errors
+    /// IO failures, or the *primary's* typed corruption error when the
+    /// `.bak` fallback is also unusable.
+    pub fn recover(&mut self) -> Result<LogRecovery, LogError> {
+        self.live.clear();
+        self.next_gen = 1;
+        self.appends_since_compact = 0;
+
+        let primary_scan = if self.io.exists(&self.path) {
+            let data = retry_io(|| self.io.read(&self.path))?;
+            Some(scan(&data, self.shard))
+        } else {
+            None
+        };
+
+        let (chosen, used_bak) = match primary_scan {
+            Some(Ok(s)) => (Some(s), false),
+            // Primary unreadable at the header level (or missing): try
+            // the previous-good rotation before giving up.
+            Some(Err(primary_err)) => match self.recover_bak()? {
+                Some(s) => (Some(s), true),
+                None => return Err(primary_err),
+            },
+            None => match self.recover_bak()? {
+                Some(s) => (Some(s), true),
+                None => {
+                    // Fresh log: durably write the header so appends have
+                    // a valid file to extend.
+                    retry_io(|| self.io.replace(&self.path, &header_bytes(self.shard)))?;
+                    return Ok(LogRecovery {
+                        records: 0,
+                        torn_bytes: 0,
+                        used_bak: false,
+                    });
+                }
+            },
+        };
+
+        // `chosen` is always Some here; destructure without panicking.
+        let Some(s) = chosen else {
+            return Err(LogError::BadHeader("empty recovery state".to_string()));
+        };
+        self.live = s.live;
+        self.next_gen = s.next_gen;
+        if s.torn_bytes > 0 {
+            mpdf_obs::counter!("fleet.log.torn_tails_total").inc();
+        }
+        if used_bak {
+            mpdf_obs::counter!("fleet.log.bak_fallbacks_total").inc();
+        }
+        if s.torn_bytes > 0 || used_bak {
+            // Rebuild the primary from the surviving records so appends
+            // extend a clean file. The .bak rotation is left untouched:
+            // it still holds the last known-good full image.
+            self.rewrite_primary()?;
+        }
+        Ok(LogRecovery {
+            records: s.records,
+            torn_bytes: s.torn_bytes,
+            used_bak,
+        })
+    }
+
+    fn recover_bak(&mut self) -> Result<Option<Scan>, LogError> {
+        if !self.io.exists(&self.bak) {
+            return Ok(None);
+        }
+        let data = retry_io(|| self.io.read(&self.bak))?;
+        match scan(&data, self.shard) {
+            Ok(s) => Ok(Some(s)),
+            Err(_) => Ok(None),
+        }
+    }
+
+    fn serialize_live(&self) -> Vec<u8> {
+        let mut bytes = header_bytes(self.shard);
+        for (&link, (gen, payload)) in &self.live {
+            frame_record(&mut bytes, *gen, link, payload);
+        }
+        bytes
+    }
+
+    fn rewrite_primary(&mut self) -> Result<(), LogError> {
+        let bytes = self.serialize_live();
+        retry_io(|| self.io.replace(&self.path, &bytes))?;
+        Ok(())
+    }
+
+    /// Appends a record for `link`, durably. The payload becomes the
+    /// link's live image; generation numbers increase monotonically.
+    ///
+    /// # Errors
+    /// [`LogError::TooLarge`] for oversized payloads; IO errors after
+    /// the transient-retry budget. On an IO error the in-memory image is
+    /// *not* updated — the caller treats the shard as crashed and
+    /// recovers from disk.
+    pub fn append(&mut self, link: u64, payload: Vec<u8>) -> Result<(), LogError> {
+        if payload.len() > MAX_RECORD_PAYLOAD {
+            return Err(LogError::TooLarge { len: payload.len() });
+        }
+        let gen = self.next_gen;
+        let mut rec = Vec::with_capacity(RECORD_OVERHEAD + payload.len());
+        frame_record(&mut rec, gen, link, &payload);
+        retry_io(|| self.io.append(&self.path, &rec))?;
+        self.next_gen += 1;
+        mpdf_obs::counter!("fleet.log.appends_total").inc();
+        mpdf_obs::counter!("fleet.log.bytes_total").add(rec.len() as u64);
+        self.live.insert(link, (gen, payload));
+        self.appends_since_compact += 1;
+        if self.compact_every > 0 && self.appends_since_compact >= self.compact_every {
+            self.compact()?;
+        }
+        Ok(())
+    }
+
+    /// Rewrites the log to one latest record per link, rotating the
+    /// previous file to `.bak` (the last-good-generation fallback).
+    ///
+    /// # Errors
+    /// IO failures; a crash between the rotation and the rewrite leaves
+    /// the `.bak` recoverable.
+    pub fn compact(&mut self) -> Result<(), LogError> {
+        let bytes = self.serialize_live();
+        if self.io.exists(&self.path) {
+            retry_io(|| self.io.rename(&self.path, &self.bak))?;
+        }
+        retry_io(|| self.io.replace(&self.path, &bytes))?;
+        self.appends_since_compact = 0;
+        mpdf_obs::counter!("fleet.log.compactions_total").inc();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mpdf_fleet_log_{}_{}", std::process::id(), tag));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn crc64_is_stable_and_sensitive() {
+        let a = crc64(b"123456789");
+        assert_eq!(a, crc64(b"123456789"), "deterministic");
+        assert_ne!(a, crc64(b"123456780"), "sensitive to content");
+        assert_ne!(crc64(b""), crc64(b"\0"), "length-extension guarded");
+    }
+
+    #[test]
+    fn fresh_open_append_recover_roundtrip() {
+        let dir = temp_dir("roundtrip");
+        let path = dir.join("shard0.mpsl");
+        let (mut log, rec) = ShardLog::open(StdIo, &path, 0, 0).unwrap();
+        assert_eq!(
+            rec,
+            LogRecovery {
+                records: 0,
+                torn_bytes: 0,
+                used_bak: false
+            }
+        );
+        log.append(5, b"five-v1".to_vec()).unwrap();
+        log.append(2, b"two-v1".to_vec()).unwrap();
+        log.append(5, b"five-v2".to_vec()).unwrap();
+        // Reopen: latest image per link, link order.
+        let (log2, rec2) = ShardLog::open(StdIo, &path, 0, 0).unwrap();
+        assert_eq!(
+            rec2,
+            LogRecovery {
+                records: 3,
+                torn_bytes: 0,
+                used_bak: false
+            }
+        );
+        let live: Vec<(u64, &[u8])> = log2.live().collect();
+        assert_eq!(
+            live,
+            vec![(2, b"two-v1".as_slice()), (5, b"five-v2".as_slice())]
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compaction_preserves_live_set_and_rotates_bak() {
+        let dir = temp_dir("compact");
+        let path = dir.join("shard1.mpsl");
+        let (mut log, _) = ShardLog::open(StdIo, &path, 1, 4).unwrap();
+        for round in 0u64..3 {
+            for link in 0u64..4 {
+                log.append(link, format!("l{link}r{round}").into_bytes())
+                    .unwrap();
+            }
+        }
+        // 12 appends with compact_every=4: several compactions ran.
+        assert!(sibling(&path, ".bak").exists(), "compaction rotated a .bak");
+        let (log2, rec) = ShardLog::open(StdIo, &path, 1, 0).unwrap();
+        assert_eq!(log2.live_links(), 4);
+        assert_eq!(rec.torn_bytes, 0);
+        for (link, payload) in log2.live() {
+            assert_eq!(
+                payload,
+                format!("l{link}r2").as_bytes(),
+                "latest image wins"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wrong_shard_and_version_are_typed_errors() {
+        let dir = temp_dir("typed");
+        let path = dir.join("shard7.mpsl");
+        let (mut log, _) = ShardLog::open(StdIo, &path, 7, 0).unwrap();
+        log.append(1, b"x".to_vec()).unwrap();
+        assert!(matches!(
+            ShardLog::open(StdIo, &path, 8, 0),
+            Err(LogError::ShardMismatch {
+                expected: 8,
+                found: 7
+            })
+        ));
+        let mut data = std::fs::read(&path).unwrap();
+        data[4] = 0xFF;
+        std::fs::write(&path, &data).unwrap();
+        assert!(matches!(
+            ShardLog::open(StdIo, &path, 7, 0),
+            Err(LogError::UnsupportedVersion(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_payloads_roundtrip_and_errors_display() {
+        let dir = temp_dir("edge");
+        let path = dir.join("shard2.mpsl");
+        let (mut log, _) = ShardLog::open(StdIo, &path, 2, 0).unwrap();
+        log.append(9, Vec::new()).unwrap();
+        let (log2, rec) = ShardLog::open(StdIo, &path, 2, 0).unwrap();
+        assert_eq!(rec.records, 1);
+        assert_eq!(log2.live().collect::<Vec<_>>(), vec![(9, &[][..])]);
+        let err = LogError::TooLarge {
+            len: MAX_RECORD_PAYLOAD + 1,
+        };
+        assert!(err.to_string().contains("cap"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,159 @@
+//! Slab-pooled storage for per-link state.
+//!
+//! A shard holds one slot per link. Links come and go (dead links are
+//! evicted, recovered shards are rebuilt), so slots are pooled: freed
+//! indices are reused LIFO instead of growing the backing vector
+//! forever. Iteration is in slot-index order, which — together with the
+//! deterministic insert/remove sequence every caller follows — keeps
+//! slab traversal reproducible at any thread count.
+
+/// A fixed-index pool of `T` with LIFO slot reuse.
+#[derive(Debug, Clone)]
+pub struct Slab<T> {
+    entries: Vec<Option<T>>,
+    free: Vec<usize>,
+    len: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Slab::new()
+    }
+}
+
+impl<T> Slab<T> {
+    /// Creates an empty slab.
+    pub fn new() -> Self {
+        Slab {
+            entries: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of occupied slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no slot is occupied.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a value, returning its slot index. Freed slots are reused
+    /// most-recently-freed first; otherwise the slab grows by one.
+    pub fn insert(&mut self, value: T) -> usize {
+        self.len += 1;
+        if let Some(slot) = self.free.pop() {
+            self.entries[slot] = Some(value);
+            slot
+        } else {
+            self.entries.push(Some(value));
+            self.entries.len() - 1
+        }
+    }
+
+    /// Removes and returns the value at `slot`, freeing the slot for
+    /// reuse. Returns `None` when the slot is vacant or out of range.
+    pub fn remove(&mut self, slot: usize) -> Option<T> {
+        let value = self.entries.get_mut(slot)?.take()?;
+        self.free.push(slot);
+        self.len -= 1;
+        Some(value)
+    }
+
+    /// Shared access to the value at `slot`.
+    pub fn get(&self, slot: usize) -> Option<&T> {
+        self.entries.get(slot)?.as_ref()
+    }
+
+    /// Exclusive access to the value at `slot`.
+    pub fn get_mut(&mut self, slot: usize) -> Option<&mut T> {
+        self.entries.get_mut(slot)?.as_mut()
+    }
+
+    /// Iterates occupied slots in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &T)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.as_ref().map(|v| (i, v)))
+    }
+
+    /// Iterates occupied slots mutably, in index order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (usize, &mut T)> {
+        self.entries
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, e)| e.as_mut().map(|v| (i, v)))
+    }
+
+    /// Drops every entry and forgets the free list.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.free.clear();
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut slab = Slab::new();
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        let c = slab.insert("c");
+        assert_eq!((a, b, c), (0, 1, 2));
+        assert_eq!(slab.len(), 3);
+        assert_eq!(slab.get(b), Some(&"b"));
+        assert_eq!(slab.remove(b), Some("b"));
+        assert_eq!(slab.get(b), None);
+        assert_eq!(slab.remove(b), None, "double remove is a no-op");
+        assert_eq!(slab.len(), 2);
+    }
+
+    #[test]
+    fn freed_slots_are_reused_lifo() {
+        let mut slab = Slab::new();
+        for i in 0..4 {
+            slab.insert(i);
+        }
+        slab.remove(1);
+        slab.remove(3);
+        // Most recently freed first: 3, then 1, then growth.
+        assert_eq!(slab.insert(30), 3);
+        assert_eq!(slab.insert(10), 1);
+        assert_eq!(slab.insert(40), 4);
+    }
+
+    #[test]
+    fn iteration_is_in_index_order_and_skips_vacant() {
+        let mut slab = Slab::new();
+        for i in 0..5 {
+            slab.insert(i * 10);
+        }
+        slab.remove(2);
+        let seen: Vec<(usize, i32)> = slab.iter().map(|(i, &v)| (i, v)).collect();
+        assert_eq!(seen, vec![(0, 0), (1, 10), (3, 30), (4, 40)]);
+        for (i, v) in slab.iter_mut() {
+            *v += i as i32;
+        }
+        assert_eq!(slab.get(4), Some(&44));
+        assert!(!slab.is_empty());
+        slab.clear();
+        assert!(slab.is_empty());
+        assert_eq!(slab.iter().count(), 0);
+    }
+
+    #[test]
+    fn out_of_range_access_is_none() {
+        let mut slab: Slab<u8> = Slab::new();
+        assert_eq!(slab.get(99), None);
+        assert_eq!(slab.get_mut(99), None);
+        assert_eq!(slab.remove(99), None);
+    }
+}

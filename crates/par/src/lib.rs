@@ -222,10 +222,14 @@ where
                     *slot = result;
                     drop(slot);
                     if panicked {
-                        // Abort the run: stop feeding work and let the
-                        // siblings drain out, mirroring the early exit a
-                        // propagating panic used to force.
-                        work.close();
+                        // Abort the run: poison the queue so the backlog
+                        // is discarded instead of drained. Siblings finish
+                        // at most the item already in their hands, the
+                        // producer's blocked push wakes with Err, and the
+                        // collection phase surfaces the panic promptly
+                        // rather than after the whole work list ran.
+                        let discarded = work.poison();
+                        mpdf_obs::counter!("par.jobs_discarded_total").add(discarded as u64);
                         break;
                     }
                 }
@@ -235,7 +239,7 @@ where
         for i in 0..n {
             // Backpressure: the queue is bounded to 2× the worker count
             // and push blocks until a worker frees a slot. Disconnect: a
-            // panicking worker closes the queue, push returns Err, and
+            // panicking worker poisons the queue, push returns Err, and
             // we stop feeding so the collection phase can surface it.
             if work.push(i).is_err() {
                 break;
@@ -250,6 +254,36 @@ where
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
         })
         .collect()
+}
+
+/// Maps `f` over mutable `items` on the pool, returning results in input
+/// order — the in-place counterpart of [`map_indexed`].
+///
+/// Each item is visited exactly once with exclusive access, so `f` may
+/// mutate it freely; the determinism contract is unchanged (results and
+/// final item states are independent of thread count as long as `f` is a
+/// pure function of its inputs). Used by the fleet supervisor to step a
+/// slice of shards in place through the shared pool.
+///
+/// # Panics
+/// As [`map_indexed`]: a worker panic is re-raised on the calling thread.
+pub fn map_indexed_mut<T, R, F>(threads: usize, items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let cells: Vec<Mutex<&mut T>> = items.iter_mut().map(Mutex::new).collect();
+    map_indexed(threads, &cells, |i, cell| {
+        // Each cell is locked exactly once, by the worker that popped
+        // index `i`. The mutex only moves the `&mut` across the `Sync`
+        // bound of `map_indexed`; it is never contended and never held
+        // together with another pool lock.
+        let mut item = cell
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        f(i, &mut item)
+    })
 }
 
 /// Maps a fallible `f` over `items` in parallel, short-circuiting on the
@@ -399,6 +433,68 @@ mod tests {
         assert_eq!(out.len(), 50);
         assert!(mpdf_obs::metrics::counter("par.jobs_total").get() >= jobs_before + 50);
         assert!(mpdf_obs::metrics::gauge("par.queue_depth_max").get() >= 1);
+    }
+
+    #[test]
+    fn map_indexed_mut_mutates_in_place_and_orders_results() {
+        let mut items: Vec<u64> = (0..100).collect();
+        let expect_items: Vec<u64> = items.iter().map(|x| x * 3).collect();
+        let expect_out: Vec<u64> = items.clone();
+        for threads in [1, 2, 4, 8] {
+            let mut mine = items.clone();
+            let out = map_indexed_mut(threads, &mut mine, |_, x| {
+                let before = *x;
+                *x *= 3;
+                before
+            });
+            assert_eq!(mine, expect_items, "threads={threads}");
+            assert_eq!(out, expect_out, "threads={threads}");
+        }
+        let out = map_indexed_mut(4, &mut items, |i, x| {
+            *x += i as u64;
+            *x
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn panicking_worker_poisons_queue_and_returns_promptly() {
+        // Item 0 panics almost immediately; every other item is slow.
+        // With the backlog poisoned on panic, peers finish at most the
+        // item already in their hands — they never chew through the
+        // queued tail — so catch_map_indexed returns promptly at every
+        // thread count instead of after all ~64 slow items.
+        for threads in [1usize, 2, 4, 8] {
+            let items: Vec<u64> = (0..64).collect();
+            let executed = AtomicUsize::new(0);
+            let discarded_before = mpdf_obs::metrics::counter("par.jobs_discarded_total").get();
+            let err = catch_map_indexed(threads, &items, |i, _| {
+                if i == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    assert!(i != 0, "chaos item");
+                }
+                executed.fetch_add(1, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                i
+            })
+            .expect_err("panic must surface");
+            let PoolError::WorkerPanic { index, message } = err;
+            assert_eq!(index, 0, "threads={threads}");
+            assert!(message.contains("chaos item"), "{message}");
+            // Prompt teardown: each peer completes at most the in-flight
+            // item plus one popped before the poison landed.
+            let ran = executed.load(Ordering::SeqCst);
+            assert!(
+                ran <= 2 * threads,
+                "threads={threads}: {ran} items ran after the panic"
+            );
+            if threads > 1 {
+                assert!(
+                    mpdf_obs::metrics::counter("par.jobs_discarded_total").get() > discarded_before,
+                    "poison must count the discarded backlog"
+                );
+            }
+        }
     }
 
     #[test]

@@ -117,6 +117,27 @@ impl<T> Bounded<T> {
         self.not_full.notify_all();
     }
 
+    /// Poisons the queue: discards every buffered item, closes it, and
+    /// wakes all blocked producers and consumers. Unlike [`close`], the
+    /// pending backlog is *not* drained by consumers — it is dropped on
+    /// the floor, so peers of a panicking worker finish at most the item
+    /// already in their hands instead of chewing through a work list
+    /// whose results can no longer be used. Returns the number of items
+    /// discarded.
+    ///
+    /// [`close`]: Bounded::close
+    pub fn poison(&self) -> usize {
+        let mut state = self.lock_state();
+        let discarded = state.buf.len();
+        state.buf.clear();
+        state.closed = true;
+        drop(state);
+        mpdf_obs::gauge!("par.queue_depth").set(0);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+        discarded
+    }
+
     /// Number of items currently buffered.
     pub fn len(&self) -> usize {
         self.lock_state().buf.len()
@@ -209,5 +230,32 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_capacity_panics() {
         let _ = Bounded::<u32>::new(0);
+    }
+
+    #[test]
+    fn poison_discards_backlog_and_unblocks() {
+        let q = Bounded::new(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.poison(), 5);
+        // Nothing left to pop, pushes rejected, repeat poison is a no-op.
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.push(99), Err(99));
+        assert_eq!(q.poison(), 0);
+    }
+
+    #[test]
+    fn poison_wakes_blocked_producer() {
+        let q = Bounded::new(1);
+        q.push(0).unwrap();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                // Blocks on the full queue until poison closes it.
+                assert_eq!(q.push(1), Err(1));
+            });
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            q.poison();
+        });
     }
 }

@@ -131,6 +131,53 @@ impl From<DetectError> for CheckpointError {
     }
 }
 
+/// Transient-IO retry budget for checkpoint writes: total attempts per
+/// operation before the error is surfaced to the session.
+const IO_ATTEMPTS: u32 = 4;
+
+/// True for error kinds that a bounded retry is allowed to absorb:
+/// signal interruptions and spurious would-block reports. Everything
+/// else (permissions, disk full, bad paths) fails immediately.
+fn transient(kind: std::io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        std::io::ErrorKind::Interrupted | std::io::ErrorKind::WouldBlock
+    )
+}
+
+/// Runs an IO operation with a bounded deterministic retry on transient
+/// errors. Backoff is attempt-scaled scheduler yields, not wall-clock
+/// sleeps: no clock is read, so retries can never make control flow
+/// time-dependent. Each retry is counted on
+/// `session.checkpoint_io_retries_total`.
+fn retry_io<T, F: FnMut() -> std::io::Result<T>>(mut op: F) -> std::io::Result<T> {
+    let mut attempt = 1;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if transient(e.kind()) && attempt < IO_ATTEMPTS => {
+                mpdf_obs::counter!("session.checkpoint_io_retries_total").inc();
+                for _ in 0..attempt {
+                    std::thread::yield_now();
+                }
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Fsyncs the directory containing `path`, making a just-completed
+/// rename of `path` itself durable (renames are directory mutations; the
+/// file's own `sync_all` does not cover them).
+fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    retry_io(|| std::fs::File::open(parent)?.sync_all())
+}
+
 /// FNV-1a 64-bit checksum.
 fn fnv1a(data: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
@@ -549,22 +596,34 @@ impl CheckpointStore {
         self.path.exists() || self.sibling(".bak").exists()
     }
 
-    /// Atomically saves a snapshot: the image is written to `<path>.tmp`,
-    /// the current checkpoint (if any) is retained as `<path>.bak`, and
-    /// the temp file is renamed into place. A crash at any point leaves
-    /// either the old or the new checkpoint loadable.
+    /// Atomically saves a snapshot: the image is written to `<path>.tmp`
+    /// and fsynced, the current checkpoint (if any) is retained as
+    /// `<path>.bak`, the temp file is renamed into place, and the parent
+    /// directory is fsynced so the renames themselves are durable. A
+    /// crash (or power cut) at any point leaves either the old or the
+    /// new checkpoint loadable — the rename can never publish a file
+    /// whose data blocks were still in the page cache.
+    ///
+    /// Transient IO errors (`Interrupted`, `WouldBlock`) are absorbed by
+    /// a bounded deterministic retry instead of failing the session on
+    /// the first occurrence.
     ///
     /// # Errors
-    /// Propagates I/O failures.
+    /// Propagates non-transient (or retry-exhausted) I/O failures.
     pub fn save(&self, snapshot: &SessionSnapshot) -> Result<(), CheckpointError> {
         let _stage = mpdf_obs::stage!("session.checkpoint");
         let bytes = encode_snapshot(snapshot)?;
         let tmp = self.sibling(".tmp");
-        std::fs::write(&tmp, &bytes)?;
+        retry_io(|| {
+            let mut f = std::fs::File::create(&tmp)?;
+            std::io::Write::write_all(&mut f, &bytes)?;
+            f.sync_all()
+        })?;
         if self.path.exists() {
-            std::fs::rename(&self.path, self.sibling(".bak"))?;
+            retry_io(|| std::fs::rename(&self.path, self.sibling(".bak")))?;
         }
-        std::fs::rename(&tmp, &self.path)?;
+        retry_io(|| std::fs::rename(&tmp, &self.path))?;
+        sync_parent_dir(&self.path)?;
         mpdf_obs::counter!("session.checkpoint_writes_total").inc();
         Ok(())
     }
@@ -659,6 +718,43 @@ mod tests {
             len_u32("packet windows", u32::MAX as usize + 1),
             Err(CheckpointError::TooLarge { max, .. }) if max == u64::from(u32::MAX)
         ));
+    }
+
+    #[test]
+    fn transient_io_errors_are_retried_with_a_bounded_budget() {
+        use std::io::{Error, ErrorKind};
+        // Two interruptions, then success: absorbed.
+        let mut calls = 0;
+        let v = retry_io(|| {
+            calls += 1;
+            if calls < 3 {
+                Err(Error::new(ErrorKind::Interrupted, "signal"))
+            } else {
+                Ok(42)
+            }
+        })
+        .unwrap();
+        assert_eq!((v, calls), (42, 3));
+
+        // A persistent transient error exhausts the budget and surfaces.
+        let mut calls = 0;
+        let err = retry_io::<(), _>(|| {
+            calls += 1;
+            Err(Error::new(ErrorKind::WouldBlock, "busy"))
+        })
+        .unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::WouldBlock);
+        assert_eq!(calls, IO_ATTEMPTS);
+
+        // Non-transient errors fail on the first call.
+        let mut calls = 0;
+        let err = retry_io::<(), _>(|| {
+            calls += 1;
+            Err(Error::new(ErrorKind::PermissionDenied, "no"))
+        })
+        .unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::PermissionDenied);
+        assert_eq!(calls, 1);
     }
 
     #[test]

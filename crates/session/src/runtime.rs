@@ -382,6 +382,14 @@ impl<S: DetectionScheme + Clone> SessionRuntime<S> {
         &self.session
     }
 
+    /// The detection scheme the session was calibrated with. Fleet-level
+    /// supervisors clone this (together with [`Self::detector`]'s config
+    /// and [`Self::session_config`]) into their per-link constants
+    /// registry so a link can be rebuilt from a bare snapshot.
+    pub fn scheme(&self) -> &S {
+        &self.scheme
+    }
+
     /// Processes one monitoring window through the supervised loop.
     ///
     /// Recalibration rejections are *handled* (reported in

@@ -31,7 +31,7 @@ use crate::report::{Rule, Violation};
 use crate::rules::{emit, FileCtx};
 
 /// Crates whose code can influence scientific results: everything from
-/// raw math to session supervision, including the parallel layer (job
+/// raw math to session and fleet supervision, including the parallel layer (job
 /// ordering) — but not `obs` (observability is proven byte-neutral by
 /// the obs-equivalence test), `eval`'s CLI surface, or `bench`/`xtask`.
 pub const RESULT_CRATES: &[&str] = &[
@@ -41,6 +41,7 @@ pub const RESULT_CRATES: &[&str] = &[
     "propagation",
     "wifi",
     "session",
+    "fleet",
     "par",
 ];
 
